@@ -1,0 +1,40 @@
+# EdgeSurgeon build/verification targets.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench experiments examples cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One benchmark per evaluation artifact (E1-E19) plus kernel microbenchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the reconstructed evaluation.
+experiments:
+	$(GO) run ./cmd/experiments
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/video-analytics
+	$(GO) run ./examples/smart-factory
+	$(GO) run ./examples/adaptive-bandwidth
+	$(GO) run ./examples/calibrated-pipeline
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,86 @@
+// Command experiments regenerates the reconstructed evaluation artifacts
+// (tables and figures E1-E13; see DESIGN.md for the index).
+//
+// Usage:
+//
+//	experiments                 # run everything
+//	experiments -run E3,E10     # run a subset
+//	experiments -list           # list experiments
+//	experiments -csv dir        # also export every table as CSV into dir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"edgesurgeon/internal/experiments"
+)
+
+func main() {
+	var (
+		runList = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		csvDir  = flag.String("csv", "", "directory to export tables as CSV")
+	)
+	flag.Parse()
+
+	reg := experiments.Registry()
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := experiments.IDs()
+	if *runList != "" {
+		ids = strings.Split(*runList, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		runner, ok := reg[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		rep, err := runner()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.String())
+		fmt.Printf("(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
+		if *csvDir != "" {
+			if err := exportCSV(*csvDir, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "csv export: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func exportCSV(dir string, rep *experiments.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, t := range rep.Tables {
+		name := fmt.Sprintf("%s_%d.csv", strings.ToLower(rep.ID), i)
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := t.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

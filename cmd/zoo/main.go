@@ -1,0 +1,106 @@
+// Command zoo inspects the built-in model zoo and hardware catalog: layer
+// tables, exit candidates, per-device latency estimates and the analytic
+// surgery profile of any model.
+//
+// Usage:
+//
+//	zoo                          # list models and hardware
+//	zoo -model resnet18          # per-unit breakdown
+//	zoo -model vgg16 -device rpi4 -server edge-gpu-t4 -mbps 20
+//	                             # surgery profile: per-cut latency split
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edgesurgeon/internal/dnn"
+	"edgesurgeon/internal/hardware"
+	"edgesurgeon/internal/netmodel"
+	"edgesurgeon/internal/stats"
+	"edgesurgeon/internal/surgery"
+	"edgesurgeon/internal/workload"
+)
+
+func main() {
+	var (
+		model  = flag.String("model", "", "model to inspect")
+		device = flag.String("device", "", "device profile for timing")
+		server = flag.String("server", "", "server profile for the surgery table")
+		mbps   = flag.Float64("mbps", 20, "uplink Mbps for the surgery table")
+	)
+	flag.Parse()
+
+	if *model == "" {
+		listEverything()
+		return
+	}
+	m, err := dnn.ByName(*model)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(m.Summary())
+
+	if *device == "" {
+		return
+	}
+	dev, err := hardware.ByName(*device)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nfull inference on %s: %.2f ms (fits: %v)\n",
+		dev.Name, dev.ModelTime(m)*1000, dev.FitsModel(m))
+
+	if *server == "" {
+		return
+	}
+	srv, err := hardware.ByName(*server)
+	if err != nil {
+		fatal(err)
+	}
+	env := surgery.Env{
+		Device: dev, Server: srv,
+		ComputeShare: 1, UplinkBps: netmodel.Mbps(*mbps), BandwidthShare: 1,
+		RTT: 0.004, Difficulty: workload.UniformDifficulty,
+	}
+	t := stats.NewTable(fmt.Sprintf("Partition profile %s: %s -> %s @ %g Mbps", m.Name, dev.Name, srv.Name, *mbps),
+		"cut", "device(ms)", "tx(ms)", "server(ms)", "total(ms)")
+	for p := 0; p <= m.NumUnits(); p++ {
+		plan := surgery.Plan{Model: m, Partition: p}
+		ev, err := surgery.Evaluate(plan, env)
+		if err != nil {
+			fatal(err)
+		}
+		t.AddRow(p, ev.DeviceSec*1000, ev.TxSec*1000, ev.ServerSec*1000, ev.Latency*1000)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+	plan, ev, err := surgery.Optimize(m, env, surgery.Options{FixedPartition: surgery.FreePartition})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\noptimal surgery plan: %s  expected %.2f ms, accuracy %.3f\n",
+		plan, ev.Latency*1000, ev.Accuracy)
+}
+
+func listEverything() {
+	t := stats.NewTable("Model zoo", "model", "units", "GFLOPs", "Mparams", "exits")
+	for _, m := range dnn.Zoo() {
+		t.AddRow(m.Name, m.NumUnits(), float64(m.TotalFLOPs())/1e9,
+			float64(m.TotalParams())/1e6, len(m.ExitCandidates()))
+	}
+	t.Render(os.Stdout)
+	fmt.Println()
+	h := stats.NewTable("Hardware catalog", "name", "class", "peak-GFLOPS", "mem(GB)")
+	for _, p := range hardware.Catalog() {
+		h.AddRow(p.Name, p.Class.String(), p.PeakFLOPS/1e9, float64(p.MemBytes)/(1<<30))
+	}
+	h.Render(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "zoo:", err)
+	os.Exit(1)
+}

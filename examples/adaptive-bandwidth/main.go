@@ -1,0 +1,146 @@
+// Adaptive bandwidth: a fleet on a fading wireless uplink. The example
+// contrasts a static plan (computed once against the long-run mean rate)
+// with the online dispatcher that replans surgery + allocation every epoch
+// from the observed channel state — the runtime behaviour experiment E13
+// quantifies.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"edgesurgeon"
+)
+
+func main() {
+	const (
+		horizon = 240.0
+		epoch   = 20.0
+	)
+	// A three-state Markov channel: deep fade, mid, clear.
+	link, err := edgesurgeon.FadingLink("wlan",
+		[]float64{edgesurgeon.Mbps(2), edgesurgeon.Mbps(12), edgesurgeon.Mbps(45)},
+		8*time.Second, time.Duration(horizon*2)*time.Second, 4*time.Millisecond, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	build := func() *edgesurgeon.Scenario {
+		sc := &edgesurgeon.Scenario{
+			Servers: []edgesurgeon.Server{{
+				Name: "edge-gpu", Profile: edgesurgeon.MustHardware("edge-gpu-t4"),
+				Link: link, RTT: 0.004,
+			}},
+			PlanningHorizon: horizon,
+		}
+		// Jetson nodes running heavy backbones can execute locally when
+		// the channel fades and offload for speed when it clears — the
+		// population whose best decision genuinely tracks the channel.
+		models := []string{"vgg16", "vgg16", "resnet34", "vgg16", "resnet34", "mobilenetv2"}
+		devices := []string{"jetson-nano", "jetson-nano", "jetson-nano", "jetson-nano", "jetson-nano", "phone-soc"}
+		for i := 0; i < 6; i++ {
+			minAcc := 0.755 // near-full accuracy: early exits cannot hide the decision
+			if models[i] == "mobilenetv2" {
+				minAcc = 0
+			}
+			sc.Users = append(sc.Users, edgesurgeon.User{
+				Name:        fmt.Sprintf("node-%d", i),
+				Model:       edgesurgeon.MustModel(models[i]),
+				Device:      edgesurgeon.MustHardware(devices[i]),
+				Rate:        2,
+				Deadline:    0.4,
+				MinAccuracy: minAcc,
+				Difficulty:  edgesurgeon.EasyBiased,
+				Arrivals:    edgesurgeon.Poisson,
+				Seed:        int64(900 + i),
+			})
+		}
+		return sc
+	}
+
+	// Static arm.
+	scStatic := build()
+	planner := edgesurgeon.NewPlanner()
+	staticPlan, err := planner.Plan(scStatic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	staticRes, err := edgesurgeon.Simulate(scStatic, staticPlan, horizon, edgesurgeon.DedicatedShares)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Online arm: observe each epoch's channel, replan, simulate epoch.
+	scOnline := build()
+	disp, err := edgesurgeon.NewDispatcher(scOnline, planner)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var onlineLat []float64
+	var met, total int
+	fmt.Printf("%-10s %12s %14s\n", "epoch", "uplink(Mbps)", "offloading-users")
+	for start := 0.0; start < horizon; start += epoch {
+		plan, err := disp.ObserveWindow(start, epoch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		offloading := 0
+		for _, d := range plan.Decisions {
+			if d.Plan.Partition < d.Plan.Model.NumUnits() {
+				offloading++
+			}
+		}
+		var obs float64
+		for i := 0; i < 8; i++ {
+			obs += link.RateAt(start + epoch*float64(i)/8)
+		}
+		obs /= 8
+		fmt.Printf("t=%-8.0f %12.1f %14d\n", start, obs/1e6, offloading)
+
+		res, err := edgesurgeon.Simulate(scOnline, plan, start+epoch, edgesurgeon.DedicatedShares)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := range res.Records {
+			rec := &res.Records[i]
+			if rec.Arrival < start || rec.Arrival >= start+epoch {
+				continue
+			}
+			onlineLat = append(onlineLat, rec.Latency)
+			if rec.Deadline > 0 {
+				total++
+				if rec.Met {
+					met++
+				}
+			}
+		}
+	}
+
+	p := func(xs []float64, q float64) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
+		cp := append([]float64(nil), xs...)
+		for i := 1; i < len(cp); i++ {
+			for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+				cp[j], cp[j-1] = cp[j-1], cp[j]
+			}
+		}
+		idx := int(q * float64(len(cp)-1))
+		return cp[idx]
+	}
+	sLat := staticRes.Latencies()
+	fmt.Println("\n== static vs online ==")
+	fmt.Printf("static : P50 %6.0f ms  P95 %7.0f ms  deadline %.1f%%\n",
+		sLat.P50()*1000, sLat.P95()*1000, staticRes.DeadlineRate()*100)
+	fmt.Printf("online : P50 %6.0f ms  P95 %7.0f ms  deadline %.1f%%\n",
+		p(onlineLat, 0.5)*1000, p(onlineLat, 0.95)*1000, 100*float64(met)/float64(max(total, 1)))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,102 @@
+// Calibrated pipeline: the full methodology loop in one program.
+//
+//  1. Train a real multi-exit network (here with the built-in engine;
+//     in production this is your PyTorch/TF training job).
+//  2. Profile it: measure accuracy vs mean depth across confidence
+//     thresholds.
+//  3. Calibrate the planner's parametric exit curves to the measurements
+//     (edgesurgeon.FitAccuracyCurve).
+//  4. Plan a deployment against the calibrated curves instead of the
+//     library defaults.
+//
+// This closes the gap experiment E12 quantifies: the planner optimizes
+// against measured, not assumed, exit behaviour.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"edgesurgeon"
+	// The built-in engine stands in for the deployment's training
+	// framework; any profiler that yields (depth, accuracy) pairs works.
+	"edgesurgeon/internal/nn"
+)
+
+func main() {
+	// 1. Train a multi-exit CNN-style classifier on a nonlinear task.
+	fmt.Println("training multi-exit network ...")
+	ds, err := nn.Rings(nn.RingsConfig{
+		Samples: 8000, Features: 10, Classes: 5, BandWidth: 1.2, Jitter: 0.35, Seed: 101,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(101))
+	train, test := ds.Split(0.8, rng)
+	net, err := nn.NewMultiExit(nn.Config{
+		In: 10, Hidden: []int{10, 20, 40, 80}, Exits: []int{0, 1, 2}, Classes: 5, Seed: 101,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for epoch := 0; epoch < 50; epoch++ {
+		net.TrainEpoch(train, 32, 0.02, 0.9, rng)
+	}
+
+	// 2. Profile: accuracy vs mean depth across thresholds.
+	var points []edgesurgeon.MeasuredPoint
+	fmt.Printf("%-10s %-10s %s\n", "threshold", "depth", "accuracy")
+	for _, th := range []float64{0.5, 0.65, 0.8, 0.9, 0.95, 0.99} {
+		ev := net.Evaluate(test, th)
+		points = append(points, edgesurgeon.MeasuredPoint{Depth: ev.MeanDepth, Accuracy: ev.Accuracy})
+		fmt.Printf("%-10.2f %-10.3f %.4f\n", th, ev.MeanDepth, ev.Accuracy)
+	}
+	finalAcc := net.Evaluate(test, 1.1).Accuracy
+
+	// 3. Calibrate the planner's curve family.
+	curves, rmse, err := edgesurgeon.FitAccuracyCurve(points, finalAcc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncalibrated curves: Floor=%.3f Beta=%.2f Final=%.3f (RMSE %.4f)\n",
+		curves.Floor, curves.Beta, curves.Final, rmse)
+
+	// 4. Plan a deployment against the calibrated curves.
+	sc := &edgesurgeon.Scenario{
+		Curves: curves,
+		Servers: []edgesurgeon.Server{{
+			Name:    "edge-gpu",
+			Profile: edgesurgeon.MustHardware("edge-gpu-t4"),
+			Link:    edgesurgeon.StaticLink("wifi", edgesurgeon.Mbps(30), 4*time.Millisecond),
+			RTT:     0.004,
+		}},
+	}
+	for i := 0; i < 4; i++ {
+		sc.Users = append(sc.Users, edgesurgeon.User{
+			Name:        fmt.Sprintf("sensor-%d", i),
+			Model:       edgesurgeon.MustModel("resnet18"),
+			Device:      edgesurgeon.MustHardware("rpi4"),
+			Rate:        2,
+			Deadline:    0.3,
+			MinAccuracy: 0.88, // floor expressed against the calibrated scale
+			Difficulty:  edgesurgeon.EasyBiased,
+			Arrivals:    edgesurgeon.Poisson,
+			Seed:        int64(300 + i),
+		})
+	}
+	plan, res, err := edgesurgeon.PlanAndSimulate(sc, edgesurgeon.NewPlanner(), 60, edgesurgeon.DedicatedShares)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nplanned against calibrated curves:")
+	for i, d := range plan.Decisions {
+		fmt.Printf("  %-9s %-44s expAcc=%.3f expLat=%.0fms\n",
+			sc.Users[i].Name, d.Plan.String(), d.Eval.Accuracy, d.Latency()*1000)
+	}
+	fmt.Printf("simulated: mean %.0f ms, P95 %.0f ms, deadline %.1f%%, accuracy %.3f\n",
+		res.Latencies().Mean()*1000, res.Latencies().P95()*1000,
+		res.DeadlineRate()*100, res.MeanAccuracy())
+}

@@ -1,0 +1,70 @@
+// Quickstart: plan one camera's inference against one edge server and
+// replay the decision in the simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"edgesurgeon"
+)
+
+func main() {
+	// A Raspberry-Pi camera running ResNet18 at 3 frames/second with a
+	// 300 ms latency SLO, next to a GPU edge server behind 40 Mbps Wi-Fi.
+	sc := &edgesurgeon.Scenario{
+		Servers: []edgesurgeon.Server{{
+			Name:    "edge-gpu",
+			Profile: edgesurgeon.MustHardware("edge-gpu-t4"),
+			Link:    edgesurgeon.StaticLink("wifi", edgesurgeon.Mbps(40), 4*time.Millisecond),
+			RTT:     0.004,
+		}},
+		Users: []edgesurgeon.User{{
+			Name:       "camera-1",
+			Model:      edgesurgeon.MustModel("resnet18"),
+			Device:     edgesurgeon.MustHardware("rpi4"),
+			Rate:       3,
+			Deadline:   0.3,
+			Difficulty: edgesurgeon.EasyBiased,
+			Arrivals:   edgesurgeon.Poisson,
+			Seed:       1,
+		}},
+	}
+
+	// Joint optimization of model surgery + resource allocation.
+	plan, err := edgesurgeon.NewPlanner().Plan(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := plan.Decisions[0]
+	fmt.Println("== planned decision ==")
+	fmt.Printf("surgery plan: %s\n", d.Plan)
+	fmt.Printf("assigned server: %d  compute share: %.2f  bandwidth share: %.2f\n",
+		d.Server, d.ComputeShare, d.BandwidthShare)
+	fmt.Printf("expected latency: %.1f ms  expected accuracy: %.3f\n",
+		d.Latency()*1000, d.Eval.Accuracy)
+
+	// Replay 60 seconds of traffic through the discrete-event simulator.
+	res, err := edgesurgeon.Simulate(sc, plan, 60, edgesurgeon.DedicatedShares)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lat := res.Latencies()
+	fmt.Println("\n== simulated (60 s) ==")
+	fmt.Printf("tasks: %d  mean: %.1f ms  P95: %.1f ms  P99: %.1f ms\n",
+		len(res.Records), lat.Mean()*1000, lat.P95()*1000, lat.P99()*1000)
+	fmt.Printf("deadline satisfaction: %.1f%%  mean accuracy: %.3f\n",
+		res.DeadlineRate()*100, res.MeanAccuracy())
+
+	// How does that compare against running everything on the Pi?
+	for _, s := range edgesurgeon.Baselines() {
+		bp, bres, err := edgesurgeon.PlanAndSimulate(sc, s, 60, edgesurgeon.DedicatedShares)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_ = bp
+		fmt.Printf("%-14s mean %.1f ms  deadline %.1f%%\n",
+			s.Name(), bres.Latencies().Mean()*1000, bres.DeadlineRate()*100)
+	}
+}

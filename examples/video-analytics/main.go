@@ -1,0 +1,103 @@
+// Video analytics: a multi-camera surveillance deployment — the workload
+// class the paper's introduction motivates. Twelve cameras with mixed
+// detection/classification models and per-stream SLOs share two
+// heterogeneous edge servers; the example compares the joint planner
+// against every baseline and prints the per-camera decisions it made.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"edgesurgeon"
+)
+
+func main() {
+	gpuLink := edgesurgeon.StaticLink("wifi-gpu", edgesurgeon.Mbps(50), 4*time.Millisecond)
+	cpuLink := edgesurgeon.StaticLink("wifi-cpu", edgesurgeon.Mbps(30), 6*time.Millisecond)
+
+	sc := &edgesurgeon.Scenario{
+		Servers: []edgesurgeon.Server{
+			{Name: "rack-gpu", Profile: edgesurgeon.MustHardware("edge-gpu-t4"), Link: gpuLink, RTT: 0.004},
+			{Name: "rack-cpu", Profile: edgesurgeon.MustHardware("edge-cpu-16c"), Link: cpuLink, RTT: 0.006},
+		},
+	}
+
+	// Camera fleet: entrance cameras run a detector (TinyYOLO) at strict
+	// SLOs; aisle cameras classify (ResNet18); two old VGG16 pipelines
+	// remain; a couple of battery cameras use MobileNetV2.
+	type cam struct {
+		name   string
+		model  string
+		device string
+		fps    float64
+		slo    time.Duration
+		minAcc float64
+	}
+	fleet := []cam{
+		{"entrance-1", "tinyyolo", "jetson-nano", 10, 150 * time.Millisecond, 0},
+		{"entrance-2", "tinyyolo", "jetson-nano", 10, 150 * time.Millisecond, 0},
+		{"aisle-1", "resnet18", "rpi4", 2, 300 * time.Millisecond, 0.70},
+		{"aisle-2", "resnet18", "rpi4", 2, 300 * time.Millisecond, 0.70},
+		{"aisle-3", "resnet18", "rpi4", 2, 300 * time.Millisecond, 0.70},
+		{"aisle-4", "resnet18", "rpi4", 2, 300 * time.Millisecond, 0.70},
+		{"legacy-1", "vgg16", "rpi4", 1, 800 * time.Millisecond, 0.72},
+		{"legacy-2", "vgg16", "rpi4", 1, 800 * time.Millisecond, 0.72},
+		{"battery-1", "mobilenetv2", "phone-soc", 6, 200 * time.Millisecond, 0},
+		{"battery-2", "mobilenetv2", "phone-soc", 6, 200 * time.Millisecond, 0},
+		{"dock-1", "alexnet", "phone-soc", 5, 250 * time.Millisecond, 0},
+		{"dock-2", "alexnet", "phone-soc", 5, 250 * time.Millisecond, 0},
+	}
+	for i, c := range fleet {
+		sc.Users = append(sc.Users, edgesurgeon.User{
+			Name:        c.name,
+			Model:       edgesurgeon.MustModel(c.model),
+			Device:      edgesurgeon.MustHardware(c.device),
+			Rate:        c.fps,
+			Deadline:    c.slo.Seconds(),
+			MinAccuracy: c.minAcc,
+			Difficulty:  edgesurgeon.EasyBiased,
+			Arrivals:    edgesurgeon.Poisson,
+			Seed:        int64(100 + i),
+		})
+	}
+
+	const horizon = 60.0
+	planner := edgesurgeon.NewPlanner()
+	plan, res, err := edgesurgeon.PlanAndSimulate(sc, planner, horizon, edgesurgeon.DedicatedShares)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== joint plan: per-camera decisions ==")
+	for i, d := range plan.Decisions {
+		srv := "local"
+		if d.Server >= 0 {
+			srv = sc.Servers[d.Server].Name
+		}
+		fmt.Printf("%-10s %-42s -> %-8s f=%.2f b=%.2f  exp %.0f ms  acc %.3f\n",
+			sc.Users[i].Name, d.Plan.String(), srv,
+			d.ComputeShare, d.BandwidthShare, d.Latency()*1000, d.Eval.Accuracy)
+	}
+	lat := res.Latencies()
+	fmt.Printf("\nsimulated %d tasks over %.0fs: mean %.0f ms, P95 %.0f ms, deadline %.1f%%, accuracy %.3f\n",
+		len(res.Records), horizon, lat.Mean()*1000, lat.P95()*1000,
+		res.DeadlineRate()*100, res.MeanAccuracy())
+
+	fmt.Println("\n== strategy comparison ==")
+	fmt.Printf("%-14s %10s %10s %10s %12s\n", "strategy", "mean(ms)", "p95(ms)", "p99(ms)", "deadline(%)")
+	show := func(name string, r *edgesurgeon.SimResult) {
+		l := r.Latencies()
+		fmt.Printf("%-14s %10.0f %10.0f %10.0f %12.1f\n",
+			name, l.Mean()*1000, l.P95()*1000, l.P99()*1000, r.DeadlineRate()*100)
+	}
+	show("joint", res)
+	for _, s := range edgesurgeon.Baselines() {
+		_, r, err := edgesurgeon.PlanAndSimulate(sc, s, horizon, edgesurgeon.DedicatedShares)
+		if err != nil {
+			log.Fatalf("%s: %v", s.Name(), err)
+		}
+		show(s.Name(), r)
+	}
+}

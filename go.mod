@@ -1,0 +1,3 @@
+module edgesurgeon
+
+go 1.22

@@ -1,0 +1,80 @@
+package baseline
+
+import (
+	"testing"
+
+	"edgesurgeon/internal/dnn"
+	"edgesurgeon/internal/hardware"
+	"edgesurgeon/internal/joint"
+	"edgesurgeon/internal/workload"
+)
+
+func noServerScenario(t *testing.T) *joint.Scenario {
+	t.Helper()
+	pi, err := hardware.ByName("rpi4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &joint.Scenario{
+		Users: []joint.User{{
+			Name: "solo", Model: dnn.MobileNetV2(), Device: pi,
+			Rate: 1, Difficulty: workload.EasyBiased, Seed: 1,
+		}},
+	}
+}
+
+func TestEdgeOnlyRequiresServers(t *testing.T) {
+	if _, err := (EdgeOnly{}).Plan(noServerScenario(t)); err == nil {
+		t.Fatal("edge-only accepted a serverless scenario")
+	}
+}
+
+func TestExhaustiveRequiresServers(t *testing.T) {
+	if _, err := (ExhaustiveAssignment{}).Plan(noServerScenario(t)); err == nil {
+		t.Fatal("exhaustive accepted a serverless scenario")
+	}
+}
+
+func TestLocalOnlyServerlessOK(t *testing.T) {
+	plan, err := LocalOnly{}.Plan(noServerScenario(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Decisions[0].Server != -1 {
+		t.Error("serverless local-only must not assign a server")
+	}
+}
+
+func TestRandomServerlessStaysLocal(t *testing.T) {
+	plan, err := Random{Seed: 3}.Plan(noServerScenario(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := plan.Decisions[0]
+	if d.Plan.Partition != d.Plan.Model.NumUnits() {
+		t.Error("serverless random plan must be fully local")
+	}
+}
+
+func TestBranchyLocalMemoryFallback(t *testing.T) {
+	sc := testScenario(t, 2, 30)
+	mcu, _ := hardware.ByName("mcu-m7")
+	sc.Users[0].Device = mcu
+	sc.Users[0].Model = dnn.VGG16()
+	plan, err := BranchyLocal{}.Plan(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Decisions[0].Server < 0 {
+		t.Error("MCU user must fall back to offload under branchy-local")
+	}
+}
+
+func TestBaselinesValidateScenario(t *testing.T) {
+	bad := &joint.Scenario{} // no users
+	for _, s := range []joint.Strategy{LocalOnly{}, EdgeOnly{}, Neurosurgeon{}, BranchyLocal{}, Random{}} {
+		if _, err := s.Plan(bad); err == nil {
+			t.Errorf("%s accepted an empty scenario", s.Name())
+		}
+	}
+}

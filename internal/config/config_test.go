@@ -1,0 +1,98 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"edgesurgeon/internal/workload"
+)
+
+const sample = `{
+  "horizon": 30,
+  "servers": [
+    {"name": "gpu", "profile": "edge-gpu-t4", "uplinkMbps": 40, "rttMs": 4},
+    {"name": "fady", "profile": "edge-cpu-16c", "rttMs": 6,
+     "fading": {"statesMbps": [2, 20], "meanDwellSec": 5, "seed": 3}}
+  ],
+  "users": [
+    {"name": "cam", "model": "resnet18", "device": "rpi4", "rate": 2,
+     "deadlineMs": 300, "difficulty": "easy-biased", "arrivals": "mmpp",
+     "burstFactor": 3, "minAccuracy": 0.7},
+    {"name": "drone", "model": "mobilenetv2", "device": "jetson-nano", "rate": 10}
+  ]
+}`
+
+func TestParseSample(t *testing.T) {
+	sc, horizon, err := Parse([]byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if horizon != 30 {
+		t.Errorf("horizon = %g", horizon)
+	}
+	if len(sc.Servers) != 2 || len(sc.Users) != 2 {
+		t.Fatalf("parsed %d servers, %d users", len(sc.Servers), len(sc.Users))
+	}
+	if sc.Servers[0].Profile.Name != "edge-gpu-t4" {
+		t.Errorf("server profile %q", sc.Servers[0].Profile.Name)
+	}
+	if sc.Servers[1].Link.RateAt(0) <= 0 {
+		t.Error("fading link has no rate")
+	}
+	u := sc.Users[0]
+	if u.Deadline != 0.3 || u.Difficulty != workload.EasyBiased || u.Arrivals != workload.MMPP {
+		t.Errorf("user fields wrong: %+v", u)
+	}
+	if u.MinAccuracy != 0.7 {
+		t.Errorf("minAccuracy = %g", u.MinAccuracy)
+	}
+	if sc.Users[1].Seed == 0 {
+		t.Error("default seed not assigned")
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	_, horizon, err := Parse([]byte(`{"users":[{"name":"x","model":"alexnet","device":"rpi4","rate":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if horizon != 60 {
+		t.Errorf("default horizon = %g", horizon)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":        `{`,
+		"unknown model":   `{"users":[{"name":"x","model":"lenet","device":"rpi4","rate":1}]}`,
+		"unknown device":  `{"users":[{"name":"x","model":"alexnet","device":"cray","rate":1}]}`,
+		"unknown profile": `{"servers":[{"name":"s","profile":"cray","uplinkMbps":1}],"users":[{"name":"x","model":"alexnet","device":"rpi4","rate":1}]}`,
+		"no uplink":       `{"servers":[{"name":"s","profile":"edge-gpu-t4"}],"users":[{"name":"x","model":"alexnet","device":"rpi4","rate":1}]}`,
+		"bad difficulty":  `{"users":[{"name":"x","model":"alexnet","device":"rpi4","rate":1,"difficulty":"spicy"}]}`,
+		"bad arrivals":    `{"users":[{"name":"x","model":"alexnet","device":"rpi4","rate":1,"arrivals":"never"}]}`,
+		"no users":        `{"servers":[{"name":"s","profile":"edge-gpu-t4","uplinkMbps":5}]}`,
+	}
+	for name, js := range cases {
+		if _, _, err := Parse([]byte(js)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestStrategyResolution(t *testing.T) {
+	for _, name := range StrategyNames() {
+		s, err := Strategy(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Name() == "" {
+			t.Errorf("%s: empty strategy name", name)
+		}
+	}
+	if s, err := Strategy(""); err != nil || s.Name() != "joint" {
+		t.Errorf("default strategy: %v, %v", s, err)
+	}
+	if _, err := Strategy("quantum"); err == nil || !strings.Contains(err.Error(), "known:") {
+		t.Errorf("unknown strategy error unhelpful: %v", err)
+	}
+}

@@ -1,0 +1,347 @@
+package dnn
+
+import "fmt"
+
+// The model zoo reproduces the architectures commonly evaluated by
+// edge-inference papers in this line of work: two classic heavy CNNs
+// (AlexNet, VGG16), two residual networks (ResNet18/34), a mobile network
+// (MobileNetV2) and a one-stage detector backbone (TinyYOLO class).
+// Parameter counts match the canonical torchvision implementations exactly
+// (asserted in tests), so the compute/transfer profiles the optimizer sees
+// are the real architectural profiles.
+
+// Zoo returns fresh instances of every model in the zoo.
+func Zoo() []*Model {
+	return []*Model{
+		AlexNet(), VGG16(), ResNet18(), ResNet34(), ResNet50(),
+		MobileNetV2(), SqueezeNet(), TinyYOLO(),
+	}
+}
+
+// ByName returns the zoo model with the given name.
+func ByName(name string) (*Model, error) {
+	for _, m := range Zoo() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("dnn: unknown model %q", name)
+}
+
+// ZooNames lists the available model names.
+func ZooNames() []string {
+	zoo := Zoo()
+	names := make([]string, len(zoo))
+	for i, m := range zoo {
+		names[i] = m.Name
+	}
+	return names
+}
+
+// builder accumulates units while threading the activation shape.
+type builder struct {
+	m    *Model
+	cur  Shape
+	seen map[string]bool
+}
+
+func newBuilder(name string, input Shape, classes int) *builder {
+	return &builder{
+		m:    &Model{Name: name, Input: input, Classes: classes},
+		cur:  input,
+		seen: make(map[string]bool),
+	}
+}
+
+// unit appends a unit made of the given layers and advances the shape.
+func (b *builder) unit(name string, exitOK bool, layers ...Layer) {
+	if b.seen[name] {
+		panic(fmt.Sprintf("dnn: duplicate unit name %q in model %q", name, b.m.Name))
+	}
+	b.seen[name] = true
+	u := &Unit{Name: name, Layers: layers, ExitOK: exitOK}
+	b.m.Units = append(b.m.Units, u)
+	b.cur = u.Out()
+}
+
+func (b *builder) build() *Model {
+	if err := b.m.Validate(); err != nil {
+		panic(err)
+	}
+	return b.m
+}
+
+// convReLU is a conv+bias followed by ReLU packaged as one unit.
+func convReLU(name string, in Shape, outC, k, stride, pad int) []Layer {
+	c := NewConv(name, in, outC, k, stride, pad, true)
+	return []Layer{c, NewAct(name+".relu", c.Out)}
+}
+
+// convBNReLU is a bias-free conv + batch norm + ReLU.
+func convBNReLU(name string, in Shape, outC, k, stride, pad int) []Layer {
+	c := NewConv(name, in, outC, k, stride, pad, false)
+	return []Layer{c, NewNorm(name+".bn", c.Out), NewAct(name+".relu", c.Out)}
+}
+
+// AlexNet returns the canonical single-tower AlexNet
+// (61,100,840 parameters, as in torchvision).
+func AlexNet() *Model {
+	b := newBuilder("alexnet", Shape{C: 3, H: 224, W: 224}, 1000)
+
+	b.unit("conv1", true, convReLU("conv1", b.cur, 64, 11, 4, 2)...)
+	b.unit("pool1", true, NewMaxPool("pool1", b.cur, 3, 2, 0))
+	b.unit("conv2", true, convReLU("conv2", b.cur, 192, 5, 1, 2)...)
+	b.unit("pool2", true, NewMaxPool("pool2", b.cur, 3, 2, 0))
+	b.unit("conv3", true, convReLU("conv3", b.cur, 384, 3, 1, 1)...)
+	b.unit("conv4", true, convReLU("conv4", b.cur, 256, 3, 1, 1)...)
+	b.unit("conv5", false, append(convReLU("conv5", b.cur, 256, 3, 1, 1), NewMaxPool("pool5", Shape{C: 256, H: 13, W: 13}, 3, 2, 0))...)
+	b.unit("flatten", false, NewFlatten("flatten", b.cur))
+	fc6 := NewFC("fc6", int(b.cur.Elems()), 4096, true)
+	b.unit("fc6", true, fc6, NewAct("fc6.relu", fc6.Out))
+	fc7 := NewFC("fc7", 4096, 4096, true)
+	b.unit("fc7", false, fc7, NewAct("fc7.relu", fc7.Out))
+	b.unit("fc8", false, NewFC("fc8", 4096, 1000, true), NewSoftmax("prob", 1000))
+	return b.build()
+}
+
+// VGG16 returns VGG-16 with the standard classifier
+// (138,357,544 parameters, as in torchvision).
+func VGG16() *Model {
+	b := newBuilder("vgg16", Shape{C: 3, H: 224, W: 224}, 1000)
+
+	type stage struct {
+		convs int
+		ch    int
+	}
+	stages := []stage{{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512}}
+	for si, st := range stages {
+		for ci := 0; ci < st.convs; ci++ {
+			name := fmt.Sprintf("conv%d_%d", si+1, ci+1)
+			// Exits attach at stage boundaries (after each pool), matching
+			// the coarse-grained exit candidates multi-exit papers use.
+			b.unit(name, false, convReLU(name, b.cur, st.ch, 3, 1, 1)...)
+		}
+		pname := fmt.Sprintf("pool%d", si+1)
+		b.unit(pname, true, NewMaxPool(pname, b.cur, 2, 2, 0))
+	}
+	b.unit("flatten", false, NewFlatten("flatten", b.cur))
+	fc6 := NewFC("fc6", int(b.cur.Elems()), 4096, true)
+	b.unit("fc6", true, fc6, NewAct("fc6.relu", fc6.Out))
+	fc7 := NewFC("fc7", 4096, 4096, true)
+	b.unit("fc7", false, fc7, NewAct("fc7.relu", fc7.Out))
+	b.unit("fc8", false, NewFC("fc8", 4096, 1000, true), NewSoftmax("prob", 1000))
+	return b.build()
+}
+
+// basicBlock builds one ResNet basic block (two 3x3 convolutions with an
+// identity or projection shortcut) as a single unit.
+func basicBlock(name string, in Shape, outC, stride int) []Layer {
+	c1 := NewConv(name+".conv1", in, outC, 3, stride, 1, false)
+	layers := []Layer{c1, NewNorm(name+".bn1", c1.Out), NewAct(name+".relu1", c1.Out)}
+	c2 := NewConv(name+".conv2", c1.Out, outC, 3, 1, 1, false)
+	layers = append(layers, c2, NewNorm(name+".bn2", c2.Out))
+	if stride != 1 || in.C != outC {
+		ds := NewConv(name+".downsample", in, outC, 1, stride, 0, false)
+		layers = append(layers, ds.AsSide(), NewNorm(name+".downsample.bn", ds.Out).AsSide())
+	}
+	layers = append(layers, NewAdd(name+".add", c2.Out), NewAct(name+".relu2", c2.Out))
+	return layers
+}
+
+func resnet(name string, blocks [4]int) *Model {
+	b := newBuilder(name, Shape{C: 3, H: 224, W: 224}, 1000)
+	b.unit("stem", true, append(convBNReLU("conv1", b.cur, 64, 7, 2, 3), NewMaxPool("maxpool", Shape{C: 64, H: 112, W: 112}, 3, 2, 1))...)
+
+	chans := [4]int{64, 128, 256, 512}
+	for si := 0; si < 4; si++ {
+		for bi := 0; bi < blocks[si]; bi++ {
+			stride := 1
+			if si > 0 && bi == 0 {
+				stride = 2
+			}
+			uname := fmt.Sprintf("layer%d.%d", si+1, bi)
+			b.unit(uname, true, basicBlock(uname, b.cur, chans[si], stride)...)
+		}
+	}
+	b.unit("avgpool", false, NewGlobalAvgPool("avgpool", b.cur), NewFlatten("flatten", Shape{C: 512, H: 1, W: 1}))
+	b.unit("fc", false, NewFC("fc", 512, 1000, true), NewSoftmax("prob", 1000))
+	return b.build()
+}
+
+// ResNet18 returns ResNet-18 (11,689,512 parameters, as in torchvision).
+func ResNet18() *Model { return resnet("resnet18", [4]int{2, 2, 2, 2}) }
+
+// ResNet34 returns ResNet-34 (21,797,672 parameters, as in torchvision).
+func ResNet34() *Model { return resnet("resnet34", [4]int{3, 4, 6, 3}) }
+
+// bottleneckBlock builds one ResNet bottleneck block (1x1 reduce, 3x3,
+// 1x1 expand-4x with projection shortcut when needed) as a single unit.
+func bottleneckBlock(name string, in Shape, midC, stride int) []Layer {
+	outC := 4 * midC
+	c1 := NewConv(name+".conv1", in, midC, 1, 1, 0, false)
+	layers := []Layer{c1, NewNorm(name+".bn1", c1.Out), NewAct(name+".relu1", c1.Out)}
+	c2 := NewConv(name+".conv2", c1.Out, midC, 3, stride, 1, false)
+	layers = append(layers, c2, NewNorm(name+".bn2", c2.Out), NewAct(name+".relu2", c2.Out))
+	c3 := NewConv(name+".conv3", c2.Out, outC, 1, 1, 0, false)
+	layers = append(layers, c3, NewNorm(name+".bn3", c3.Out))
+	if stride != 1 || in.C != outC {
+		ds := NewConv(name+".downsample", in, outC, 1, stride, 0, false)
+		layers = append(layers, ds.AsSide(), NewNorm(name+".downsample.bn", ds.Out).AsSide())
+	}
+	layers = append(layers, NewAdd(name+".add", c3.Out), NewAct(name+".relu3", c3.Out))
+	return layers
+}
+
+// ResNet50 returns ResNet-50 (25,557,032 parameters, as in torchvision).
+func ResNet50() *Model {
+	b := newBuilder("resnet50", Shape{C: 3, H: 224, W: 224}, 1000)
+	b.unit("stem", true, append(convBNReLU("conv1", b.cur, 64, 7, 2, 3), NewMaxPool("maxpool", Shape{C: 64, H: 112, W: 112}, 3, 2, 1))...)
+
+	blocks := [4]int{3, 4, 6, 3}
+	mids := [4]int{64, 128, 256, 512}
+	for si := 0; si < 4; si++ {
+		for bi := 0; bi < blocks[si]; bi++ {
+			stride := 1
+			if si > 0 && bi == 0 {
+				stride = 2
+			}
+			uname := fmt.Sprintf("layer%d.%d", si+1, bi)
+			b.unit(uname, true, bottleneckBlock(uname, b.cur, mids[si], stride)...)
+		}
+	}
+	b.unit("avgpool", false, NewGlobalAvgPool("avgpool", b.cur), NewFlatten("flatten", Shape{C: 2048, H: 1, W: 1}))
+	b.unit("fc", false, NewFC("fc", 2048, 1000, true), NewSoftmax("prob", 1000))
+	return b.build()
+}
+
+// fireModule builds one SqueezeNet fire module (1x1 squeeze, then parallel
+// 1x1 and 3x3 expands concatenated along channels) as a single unit. The
+// 3x3 expand path is modeled as a side branch feeding the concat.
+func fireModule(name string, in Shape, squeeze, e1, e3 int) []Layer {
+	sq := NewConv(name+".squeeze", in, squeeze, 1, 1, 0, true)
+	layers := []Layer{sq, NewAct(name+".squeeze.relu", sq.Out)}
+	x1 := NewConv(name+".expand1x1", sq.Out, e1, 1, 1, 0, true)
+	layers = append(layers, x1, NewAct(name+".expand1x1.relu", x1.Out))
+	x3 := NewConv(name+".expand3x3", sq.Out, e3, 3, 1, 1, true)
+	layers = append(layers, x3.AsSide(), NewAct(name+".expand3x3.relu", x3.Out).AsSide())
+	layers = append(layers, NewConcat(name+".concat", x1.Out, e3))
+	return layers
+}
+
+// SqueezeNet returns SqueezeNet 1.0 (1,248,424 parameters, as in
+// torchvision squeezenet1_0).
+func SqueezeNet() *Model {
+	b := newBuilder("squeezenet", Shape{C: 3, H: 224, W: 224}, 1000)
+	c1 := NewConv("conv1", b.cur, 96, 7, 2, 0, true)
+	b.unit("stem", true, c1, NewAct("conv1.relu", c1.Out), NewMaxPool("pool1", c1.Out, 3, 2, 0))
+
+	type fire struct{ s, e1, e3 int }
+	group1 := []fire{{16, 64, 64}, {16, 64, 64}, {32, 128, 128}}
+	group2 := []fire{{32, 128, 128}, {48, 192, 192}, {48, 192, 192}, {64, 256, 256}}
+	group3 := []fire{{64, 256, 256}}
+	idx := 2
+	addGroup := func(fs []fire, pool bool) {
+		for _, f := range fs {
+			name := fmt.Sprintf("fire%d", idx)
+			b.unit(name, true, fireModule(name, b.cur, f.s, f.e1, f.e3)...)
+			idx++
+		}
+		if pool {
+			pname := fmt.Sprintf("pool%d", idx)
+			b.unit(pname, false, NewMaxPool(pname, b.cur, 3, 2, 0))
+		}
+	}
+	addGroup(group1, true)
+	addGroup(group2, true)
+	addGroup(group3, false)
+
+	c10 := NewConv("conv10", b.cur, 1000, 1, 1, 0, true)
+	b.unit("head", false, c10, NewAct("conv10.relu", c10.Out),
+		NewGlobalAvgPool("avgpool", c10.Out), NewFlatten("flatten", Shape{C: 1000, H: 1, W: 1}),
+		NewSoftmax("prob", 1000))
+	return b.build()
+}
+
+// invertedResidual builds one MobileNetV2 inverted-residual block as a
+// single unit: 1x1 expand, 3x3 depthwise, 1x1 project, with a residual add
+// when stride == 1 and channels match.
+func invertedResidual(name string, in Shape, outC, stride, expand int) []Layer {
+	var layers []Layer
+	cur := in
+	if expand != 1 {
+		e := NewConv(name+".expand", cur, in.C*expand, 1, 1, 0, false)
+		layers = append(layers, e, NewNorm(name+".expand.bn", e.Out), NewAct(name+".expand.relu6", e.Out))
+		cur = e.Out
+	}
+	dw := NewDWConv(name+".dw", cur, 3, stride, 1, false)
+	layers = append(layers, dw, NewNorm(name+".dw.bn", dw.Out), NewAct(name+".dw.relu6", dw.Out))
+	pr := NewConv(name+".project", dw.Out, outC, 1, 1, 0, false)
+	layers = append(layers, pr, NewNorm(name+".project.bn", pr.Out))
+	if stride == 1 && in.C == outC {
+		layers = append(layers, NewAdd(name+".add", pr.Out))
+	}
+	return layers
+}
+
+// MobileNetV2 returns MobileNetV2 at width 1.0
+// (3,504,872 parameters, as in torchvision).
+func MobileNetV2() *Model {
+	b := newBuilder("mobilenetv2", Shape{C: 3, H: 224, W: 224}, 1000)
+	b.unit("stem", true, convBNReLU("conv1", b.cur, 32, 3, 2, 1)...)
+
+	// t (expansion), c (output channels), n (repeats), s (first stride)
+	cfg := [][4]int{
+		{1, 16, 1, 1},
+		{6, 24, 2, 2},
+		{6, 32, 3, 2},
+		{6, 64, 4, 2},
+		{6, 96, 3, 1},
+		{6, 160, 3, 2},
+		{6, 320, 1, 1},
+	}
+	blk := 0
+	for _, c := range cfg {
+		t, ch, n, s := c[0], c[1], c[2], c[3]
+		for i := 0; i < n; i++ {
+			stride := 1
+			if i == 0 {
+				stride = s
+			}
+			name := fmt.Sprintf("block%d", blk)
+			b.unit(name, true, invertedResidual(name, b.cur, ch, stride, t)...)
+			blk++
+		}
+	}
+	b.unit("head", false, convBNReLU("conv_last", b.cur, 1280, 1, 1, 0)...)
+	b.unit("avgpool", false, NewGlobalAvgPool("avgpool", b.cur), NewFlatten("flatten", Shape{C: 1280, H: 1, W: 1}))
+	b.unit("classifier", false, NewFC("classifier", 1280, 1000, true), NewSoftmax("prob", 1000))
+	return b.build()
+}
+
+// TinyYOLO returns a Tiny-YOLOv2-class one-stage detector backbone
+// (20-class VOC head, 416x416 input), the representative detection workload.
+func TinyYOLO() *Model {
+	b := newBuilder("tinyyolo", Shape{C: 3, H: 416, W: 416}, 0)
+
+	chans := []int{16, 32, 64, 128, 256, 512}
+	for i, c := range chans {
+		cname := fmt.Sprintf("conv%d", i+1)
+		b.unit(cname, true, convBNReLU(cname, b.cur, c, 3, 1, 1)...)
+		pname := fmt.Sprintf("pool%d", i+1)
+		stride := 2
+		if i == len(chans)-1 {
+			stride = 1 // final pool keeps 13x13 resolution
+		}
+		if stride == 1 {
+			// stride-1 3x3 maxpool with pad 1 preserves shape
+			b.unit(pname, false, NewMaxPool(pname, b.cur, 3, 1, 1))
+		} else {
+			b.unit(pname, false, NewMaxPool(pname, b.cur, 2, 2, 0))
+		}
+	}
+	b.unit("conv7", true, convBNReLU("conv7", b.cur, 1024, 3, 1, 1)...)
+	b.unit("conv8", true, convBNReLU("conv8", b.cur, 1024, 3, 1, 1)...)
+	// Detection head: 5 anchors x (20 classes + 5 box terms) = 125 channels.
+	b.unit("head", false, NewConv("conv9", b.cur, 125, 1, 1, 0, true))
+	return b.build()
+}

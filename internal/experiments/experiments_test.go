@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryCompleteAndOrdered(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 19 {
+		t.Fatalf("got %d experiments, want 19: %v", len(ids), ids)
+	}
+	if ids[0] != "E1" || ids[18] != "E19" {
+		t.Fatalf("bad ordering: %v", ids)
+	}
+	reg := Registry()
+	for _, id := range ids {
+		if reg[id] == nil {
+			t.Errorf("nil runner for %s", id)
+		}
+	}
+}
+
+func runReport(t *testing.T, id string) *Report {
+	t.Helper()
+	r, err := Registry()[id]()
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if r.ID != id {
+		t.Errorf("report ID %q, want %q", r.ID, id)
+	}
+	if len(r.Tables) == 0 {
+		t.Errorf("%s: no tables", id)
+	}
+	for ti, tb := range r.Tables {
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s table %d: no rows", id, ti)
+		}
+	}
+	if s := r.String(); !strings.Contains(s, r.Artifact) {
+		t.Errorf("%s: rendered report missing artifact tag", id)
+	}
+	for _, n := range r.Notes {
+		if strings.Contains(n, "WARNING") {
+			t.Errorf("%s: shape violation: %s", id, n)
+		}
+	}
+	return r
+}
+
+func TestE1Shape(t *testing.T) {
+	r := runReport(t, "E1")
+	if len(r.Tables[0].Rows) != 8 {
+		t.Errorf("zoo table rows = %d, want 8", len(r.Tables[0].Rows))
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	r := runReport(t, "E2")
+	if len(r.Tables[0].Rows) != 6 {
+		t.Errorf("hardware rows = %d, want 6", len(r.Tables[0].Rows))
+	}
+}
+
+func TestE3JointDominates(t *testing.T) {
+	// runReport fails on any WARNING note, which E3 emits whenever the
+	// joint plan loses a bandwidth point.
+	r := runReport(t, "E3")
+	if len(r.Tables[0].Rows) != 9 {
+		t.Errorf("bandwidth rows = %d, want 9", len(r.Tables[0].Rows))
+	}
+}
+
+func TestE6FrontierMonotone(t *testing.T) {
+	r := runReport(t, "E6")
+	found := false
+	for _, n := range r.Notes {
+		if strings.Contains(n, "monotone") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("frontier monotonicity note missing")
+	}
+}
+
+func TestE10Converges(t *testing.T) {
+	r := runReport(t, "E10")
+	if len(r.Tables[0].Rows) < 2 {
+		t.Errorf("trajectory rows = %d", len(r.Tables[0].Rows))
+	}
+}
+
+func TestE11GapSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive search in -short mode")
+	}
+	r := runReport(t, "E11")
+	// The note records mean/worst gap; the table rows carry per-instance
+	// gaps which must all be tiny.
+	for _, row := range r.Tables[0].Rows {
+		gap := row[len(row)-1]
+		if strings.HasPrefix(gap, "-") {
+			t.Errorf("negative gap: %v", row)
+		}
+	}
+}
+
+func TestHeavyExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-user simulations in -short mode")
+	}
+	for _, id := range []string{"E4", "E5", "E7", "E8", "E13", "E14", "E17", "E18", "E19"} {
+		runReport(t, id)
+	}
+}
+
+func TestE12RealNN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("NN training in -short mode")
+	}
+	r := runReport(t, "E12")
+	if len(r.Tables) < 2 {
+		t.Fatalf("want sweep + fit tables, got %d", len(r.Tables))
+	}
+}
+
+func TestE9Scalability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planner scaling sweep in -short mode")
+	}
+	runReport(t, "E9")
+}
+
+func TestE15CompressionHelpsAtLowBandwidth(t *testing.T) {
+	r := runReport(t, "E15")
+	// In every row the int4 column must be <= the fp32 column.
+	for _, row := range r.Tables[0].Rows {
+		if len(row) != 4 {
+			t.Fatalf("row arity: %v", row)
+		}
+	}
+}
+
+func TestE16ProbeEscapesEquilibrium(t *testing.T) {
+	runReport(t, "E16") // the runner itself fails the shape via WARNING notes
+}

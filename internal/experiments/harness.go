@@ -1,0 +1,158 @@
+// Package experiments regenerates every table and figure of the
+// reconstructed evaluation (see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for measured-vs-expected outcomes). Each experiment is a
+// pure function returning a Report whose tables carry exactly the rows the
+// corresponding paper-class artifact reports; cmd/experiments renders them
+// and bench_test.go wraps each in a benchmark target.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"edgesurgeon/internal/baseline"
+	"edgesurgeon/internal/dnn"
+	"edgesurgeon/internal/hardware"
+	"edgesurgeon/internal/joint"
+	"edgesurgeon/internal/netmodel"
+	"edgesurgeon/internal/stats"
+	"edgesurgeon/internal/workload"
+)
+
+// Report is one experiment's regenerated artifact.
+type Report struct {
+	// ID is the experiment identifier (E1..E13).
+	ID string
+	// Artifact names the paper-class table/figure this regenerates.
+	Artifact string
+	// Title describes the experiment.
+	Title string
+	// Tables carry the regenerated rows/series.
+	Tables []*stats.Table
+	// Notes records the measured shape (who wins, crossovers, factors).
+	Notes []string
+}
+
+func (r *Report) note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the full report as text.
+func (r *Report) String() string {
+	s := fmt.Sprintf("### %s (%s): %s\n", r.ID, r.Artifact, r.Title)
+	for _, t := range r.Tables {
+		s += t.String() + "\n"
+	}
+	for _, n := range r.Notes {
+		s += "note: " + n + "\n"
+	}
+	return s
+}
+
+// Runner is an experiment entry point.
+type Runner func() (*Report, error)
+
+// Registry maps experiment IDs to runners.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"E1":  E1ModelZoo,
+		"E2":  E2HardwareProfile,
+		"E3":  E3BandwidthSweep,
+		"E4":  E4UserScaling,
+		"E5":  E5DeadlineVsRate,
+		"E6":  E6AccuracyLatency,
+		"E7":  E7Ablation,
+		"E8":  E8Heterogeneity,
+		"E9":  E9PlannerScalability,
+		"E10": E10Convergence,
+		"E11": E11OptimalityGap,
+		"E12": E12RealMultiExit,
+		"E13": E13OnlineAdaptation,
+		"E14": E14DeviceEnergy,
+		"E15": E15Compression,
+		"E16": E16ProbeAblation,
+		"E17": E17PriorityWeights,
+		"E18": E18DisciplineSensitivity,
+		"E19": E19SaturationThroughput,
+	}
+}
+
+// IDs returns the experiment identifiers in run order.
+func IDs() []string {
+	ids := make([]string, 0, len(Registry()))
+	for id := range Registry() {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		var a, b int
+		fmt.Sscanf(ids[i], "E%d", &a)
+		fmt.Sscanf(ids[j], "E%d", &b)
+		return a < b
+	})
+	return ids
+}
+
+// RunAll executes every experiment in order.
+func RunAll() ([]*Report, error) {
+	var out []*Report
+	reg := Registry()
+	for _, id := range IDs() {
+		r, err := reg[id]()
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// --- shared scenario builders -------------------------------------------
+
+func mustDevice(name string) *hardware.Profile {
+	p, err := hardware.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// mixedScenario is the workhorse multi-user scenario: nUsers cycling over
+// {Pi, phone, Jetson} devices and {ResNet18, AlexNet, MobileNetV2, VGG16}
+// models, two heterogeneous servers (GPU + CPU) with distinct uplinks.
+func mixedScenario(nUsers int, ratePerUser, deadline, uplinkMbps float64) *joint.Scenario {
+	devices := []*hardware.Profile{mustDevice("rpi4"), mustDevice("phone-soc"), mustDevice("jetson-nano")}
+	models := []func() *dnn.Model{dnn.ResNet18, dnn.AlexNet, dnn.MobileNetV2, dnn.VGG16}
+	sc := &joint.Scenario{
+		Servers: []joint.Server{
+			{Name: "edge-gpu", Profile: mustDevice("edge-gpu-t4"),
+				Link: netmodel.NewStatic("wifi-a", netmodel.Mbps(uplinkMbps), 0.004), RTT: 0.004},
+			{Name: "edge-cpu", Profile: mustDevice("edge-cpu-16c"),
+				Link: netmodel.NewStatic("wifi-b", netmodel.Mbps(uplinkMbps*0.7), 0.006), RTT: 0.006},
+		},
+	}
+	for i := 0; i < nUsers; i++ {
+		sc.Users = append(sc.Users, joint.User{
+			Name:       fmt.Sprintf("user%02d", i),
+			Model:      models[i%len(models)](),
+			Device:     devices[i%len(devices)],
+			Rate:       ratePerUser,
+			Deadline:   deadline,
+			Difficulty: workload.EasyBiased,
+			Arrivals:   workload.Poisson,
+			Seed:       int64(9000 + i),
+		})
+	}
+	return sc
+}
+
+// strategiesUnderTest returns the standard comparison set: the joint
+// planner followed by the four published-baseline stand-ins.
+func strategiesUnderTest() []joint.Strategy {
+	return []joint.Strategy{
+		&joint.Planner{},
+		baseline.LocalOnly{},
+		baseline.EdgeOnly{},
+		baseline.Neurosurgeon{},
+		baseline.BranchyLocal{},
+	}
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+
+	"edgesurgeon/internal/joint"
+	"edgesurgeon/internal/sim"
+	"edgesurgeon/internal/stats"
+	"edgesurgeon/internal/workload"
+)
+
+// E13OnlineAdaptation regenerates Figure 12: a fading uplink drives the
+// online dispatcher, comparing a static plan (planned once against the
+// long-run mean rate) with epoch-wise replanning.
+func E13OnlineAdaptation() (*Report, error) {
+	r := &Report{
+		ID: "E13", Artifact: "Figure 12",
+		Title: "Online adaptation under a fading uplink (epoch replanning vs static plan)",
+	}
+	const (
+		horizon = 240.0
+		epoch   = 20.0
+	)
+	link, err := fadingLink(404)
+	if err != nil {
+		return nil, err
+	}
+	build := func() *joint.Scenario {
+		sc := mixedScenario(6, 3, 0.35, 25)
+		sc.Servers = sc.Servers[:1]
+		sc.Servers[0].Link = link
+		return sc
+	}
+
+	// Static arm: plan once against the long-run mean, simulate the whole
+	// horizon against the true fading link.
+	scStatic := build()
+	scStatic.PlanningHorizon = horizon
+	staticPlan, err := (&joint.Planner{}).Plan(scStatic)
+	if err != nil {
+		return nil, err
+	}
+	staticRes, err := joint.Simulate(scStatic, staticPlan, horizon, sim.DedicatedShares)
+	if err != nil {
+		return nil, err
+	}
+
+	// Online arm: replan each epoch from the observed window rate, then
+	// simulate that epoch's tasks under the refreshed decisions.
+	scOnline := build()
+	disp, err := joint.NewDispatcher(scOnline, &joint.Planner{})
+	if err != nil {
+		return nil, err
+	}
+	var online stats.Series
+	var onlineMeter stats.Meter
+	epochTable := stats.NewTable("Per-epoch outcomes",
+		"epoch-start(s)", "observed-uplink(Mbps)", "static-p95(ms)", "online-p95(ms)")
+	for start := 0.0; start < horizon; start += epoch {
+		plan, err := disp.ObserveWindow(start, epoch)
+		if err != nil {
+			return nil, fmt.Errorf("epoch %.0f: %w", start, err)
+		}
+		cfg := joint.BuildSimConfig(scOnline, plan, horizon, sim.DedicatedShares)
+		var epochStatic stats.Series
+		for ui := range cfg.Users {
+			var kept []workload.Task
+			for _, task := range cfg.Users[ui].Tasks {
+				if task.Arrival >= start && task.Arrival < start+epoch {
+					kept = append(kept, task)
+				}
+			}
+			cfg.Users[ui].Tasks = kept
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		for i := range res.Records {
+			rec := &res.Records[i]
+			online.Add(rec.Latency)
+			if rec.Deadline > 0 {
+				onlineMeter.Observe(rec.Met)
+			}
+		}
+		for i := range staticRes.Records {
+			rec := &staticRes.Records[i]
+			if rec.Arrival >= start && rec.Arrival < start+epoch {
+				epochStatic.Add(rec.Latency)
+			}
+		}
+		var obs float64
+		const steps = 16
+		for i := 0; i < steps; i++ {
+			obs += link.RateAt(start + epoch*float64(i)/steps)
+		}
+		obs /= steps
+		epochTable.AddRow(start, obs/1e6, epochStatic.P95()*1000, res.Latencies().P95()*1000)
+	}
+	r.Tables = append(r.Tables, epochTable)
+
+	staticLat := staticRes.Latencies()
+	t := stats.NewTable("Overall comparison",
+		"arm", "mean(ms)", "p50(ms)", "p95(ms)", "p99(ms)", "deadline-rate")
+	t.AddRow("static", staticLat.Mean()*1000, staticLat.P50()*1000,
+		staticLat.P95()*1000, staticLat.P99()*1000, staticRes.DeadlineRate())
+	t.AddRow("online", online.Mean()*1000, online.P50()*1000,
+		online.P95()*1000, online.P99()*1000, onlineMeter.Rate())
+	r.Tables = append(r.Tables, t)
+	r.note("online replanning vs static at P99: %.2fx (%.0f ms vs %.0f ms); deadline rate %.3f vs %.3f",
+		staticLat.P99()/online.P99(), staticLat.P99()*1000, online.P99()*1000,
+		onlineMeter.Rate(), staticRes.DeadlineRate())
+	return r, nil
+}

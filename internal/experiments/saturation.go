@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+
+	"edgesurgeon/internal/joint"
+	"edgesurgeon/internal/sim"
+	"edgesurgeon/internal/stats"
+)
+
+// E19SaturationThroughput regenerates the capacity table: the maximum
+// per-user arrival rate each strategy sustains while keeping deadline
+// satisfaction at or above 90%, found by bisection over the rate.
+func E19SaturationThroughput() (*Report, error) {
+	r := &Report{
+		ID: "E19", Artifact: "Table 4 (extension)",
+		Title: "Max sustainable rate at >=90% deadline satisfaction (12 users, 300 ms SLO)",
+	}
+	const target = 0.90
+	measure := func(s joint.Strategy, rate float64) (float64, error) {
+		sc := mixedScenario(12, rate, 0.3, 100)
+		_, res, err := joint.PlanAndSimulate(sc, s, simHorizon, sim.DedicatedShares)
+		if err != nil {
+			return 0, err
+		}
+		return res.DeadlineRate(), nil
+	}
+	t := stats.NewTable("Sustainable throughput",
+		"strategy", "max-rate(req/s/user)", "satisfaction-at-max", "normalized-vs-joint")
+	var jointMax float64
+	type row struct {
+		name string
+		rate float64
+		sat  float64
+	}
+	var rows []row
+	for _, s := range strategiesUnderTest() {
+		// Establish an upper bracket.
+		lo, hi := 0.0, 1.0
+		for i := 0; i < 8; i++ {
+			dr, err := measure(s, hi)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", s.Name(), err)
+			}
+			if dr < target {
+				break
+			}
+			lo = hi
+			hi *= 2
+		}
+		if lo == 0 {
+			// Cannot sustain even the smallest probe rate.
+			dr, err := measure(s, 0.25)
+			if err != nil {
+				return nil, err
+			}
+			if dr >= target {
+				lo = 0.25
+			}
+		}
+		// Bisect between lo (sustained) and hi (collapsed).
+		for i := 0; i < 7 && hi-lo > 0.05*hi; i++ {
+			mid := (lo + hi) / 2
+			dr, err := measure(s, mid)
+			if err != nil {
+				return nil, err
+			}
+			if dr >= target {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		sat := 0.0
+		if lo > 0 {
+			var err error
+			sat, err = measure(s, lo)
+			if err != nil {
+				return nil, err
+			}
+		}
+		rows = append(rows, row{s.Name(), lo, sat})
+		if s.Name() == "joint" {
+			jointMax = lo
+		}
+	}
+	for _, rw := range rows {
+		norm := 0.0
+		if jointMax > 0 {
+			norm = rw.rate / jointMax
+		}
+		t.AddRow(rw.name, rw.rate, rw.sat, norm)
+	}
+	r.Tables = append(r.Tables, t)
+	bestBase := 0.0
+	for _, rw := range rows[1:] {
+		if rw.rate > bestBase {
+			bestBase = rw.rate
+		}
+	}
+	if jointMax > bestBase {
+		r.note("joint sustains %.2f req/s/user, %.1fx the best baseline (%.2f)", jointMax, jointMax/maxf(bestBase, 1e-9), bestBase)
+	} else {
+		r.note("WARNING: a baseline sustained more throughput than joint")
+	}
+	return r, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

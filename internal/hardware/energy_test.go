@@ -1,0 +1,47 @@
+package hardware
+
+import (
+	"testing"
+
+	"edgesurgeon/internal/dnn"
+)
+
+func TestEnergyAccessors(t *testing.T) {
+	pi, err := ByName("rpi4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pi.ComputeEnergy(2); got != 2*pi.ActiveWatts {
+		t.Errorf("ComputeEnergy(2) = %g, want %g", got, 2*pi.ActiveWatts)
+	}
+	if got := pi.RadioEnergy(0.5); got != 0.5*pi.RadioWatts {
+		t.Errorf("RadioEnergy(0.5) = %g, want %g", got, 0.5*pi.RadioWatts)
+	}
+	if pi.ComputeEnergy(0) != 0 || pi.RadioEnergy(0) != 0 {
+		t.Error("zero time must cost zero energy")
+	}
+}
+
+func TestDevicesHavePowerRatings(t *testing.T) {
+	for _, p := range Devices() {
+		if p.ActiveWatts <= 0 {
+			t.Errorf("%s: no active power rating", p.Name)
+		}
+		if p.RadioWatts <= 0 {
+			t.Errorf("%s: no radio power rating", p.Name)
+		}
+	}
+}
+
+func TestEnergyOrderingMakesSense(t *testing.T) {
+	// Running ResNet18 locally costs the Pi more energy than the phone:
+	// it is both slower and hungrier per second of GEMM work here.
+	pi, _ := ByName("rpi4")
+	phone, _ := ByName("phone-soc")
+	m := dnn.ResNet18()
+	ePi := pi.ComputeEnergy(pi.ModelTime(m))
+	ePhone := phone.ComputeEnergy(phone.ModelTime(m))
+	if ePi <= ePhone {
+		t.Errorf("pi energy %g should exceed phone %g for %s", ePi, ePhone, m.Name)
+	}
+}

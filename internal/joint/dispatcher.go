@@ -1,0 +1,89 @@
+package joint
+
+import "fmt"
+
+// Dispatcher is the online layer: it holds the current plan and re-runs the
+// cheap planner steps (surgery + allocation, keeping assignments) whenever
+// the observed environment drifts — the runtime companion to the offline
+// block-coordinate planner. Experiment E13 drives it across a fading trace.
+type Dispatcher struct {
+	sc      *Scenario
+	planner *Planner
+	plan    *Plan
+}
+
+// NewDispatcher plans the scenario and returns the running dispatcher.
+func NewDispatcher(sc *Scenario, planner *Planner) (*Dispatcher, error) {
+	plan, err := planner.Plan(sc)
+	if err != nil {
+		return nil, err
+	}
+	return &Dispatcher{sc: sc, planner: planner, plan: plan}, nil
+}
+
+// Current returns the active plan.
+func (d *Dispatcher) Current() *Plan { return d.plan }
+
+// ObserveUplinks replaces each server's planning-time uplink rate with the
+// observed value (bps) and replans surgery + allocation without changing
+// assignments. Passing a non-positive rate keeps that server's link as-is.
+func (d *Dispatcher) ObserveUplinks(ratesBps []float64) (*Plan, error) {
+	if len(ratesBps) != len(d.sc.Servers) {
+		return nil, fmt.Errorf("joint: observed %d uplink rates for %d servers", len(ratesBps), len(d.sc.Servers))
+	}
+	opt := d.planner.opts()
+	st, err := newState(d.sc, opt)
+	if err != nil {
+		return nil, err
+	}
+	// Keep the standing assignment.
+	for s := range st.assigned {
+		st.assigned[s] = st.assigned[s][:0]
+	}
+	for ui := range d.plan.Decisions {
+		srv := d.plan.Decisions[ui].Server
+		st.ds[ui].Server = srv
+		if srv >= 0 {
+			st.assigned[srv] = append(st.assigned[srv], ui)
+		}
+	}
+	st.equalShares()
+	for s, r := range ratesBps {
+		if r > 0 {
+			st.uplink[s] = r
+		}
+	}
+	// Two cheap rounds: surgery -> alloc -> surgery -> alloc.
+	for i := 0; i < 2; i++ {
+		if err := st.surgeryStep(); err != nil {
+			return nil, err
+		}
+		st.allocStep()
+	}
+	d.plan = &Plan{
+		Decisions:   st.ds,
+		Objective:   objective(d.sc, st.ds),
+		Feasible:    st.feasible,
+		Iterations:  2,
+		PlannerName: d.planner.Name() + "+online",
+	}
+	return d.plan, nil
+}
+
+// ObserveWindow is a convenience that samples each server's mean link rate
+// over [t, t+window) from the scenario's own links and replans against it —
+// the pattern the epoch-driven experiments use.
+func (d *Dispatcher) ObserveWindow(t, window float64) (*Plan, error) {
+	rates := make([]float64, len(d.sc.Servers))
+	for s := range d.sc.Servers {
+		link := d.sc.Servers[s].Link
+		// Average the observable rate across the window.
+		const steps = 16
+		var sum float64
+		for i := 0; i < steps; i++ {
+			sum += link.RateAt(t + window*float64(i)/steps)
+		}
+		rates[s] = sum / steps
+	}
+	return d.ObserveUplinks(rates)
+}

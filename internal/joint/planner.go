@@ -1,0 +1,541 @@
+package joint
+
+import (
+	"fmt"
+	"math"
+
+	"edgesurgeon/internal/alloc"
+	"edgesurgeon/internal/surgery"
+)
+
+// Options tunes the joint planner.
+type Options struct {
+	// MaxIters bounds the block-coordinate rounds (default 12).
+	MaxIters int
+	// Epsilon is the relative-improvement convergence threshold
+	// (default 1e-3).
+	Epsilon float64
+	// Surgery carries the base surgery options; per-user MinAccuracy from
+	// the scenario overrides its MinAccuracy field.
+	Surgery surgery.Options
+	// DisableSurgery freezes plans to partition-only full-backbone
+	// execution chosen once at equal shares (the "allocation-only"
+	// ablation arm).
+	DisableSurgery bool
+	// DisableAllocation freezes shares at the equal split (the
+	// "surgery-only" ablation arm).
+	DisableAllocation bool
+	// DisableReassignment turns off the greedy server-migration step.
+	DisableReassignment bool
+	// DisableProbe turns off the offloading probe share (the fair-share
+	// floor that lets locally-stuck users discover offload opportunities)
+	// — the cold-start ablation arm of experiment E16.
+	DisableProbe bool
+	// Allocator selects the allocation rule when allocation is enabled.
+	Allocator AllocatorKind
+}
+
+// AllocatorKind selects the per-server allocation rule.
+type AllocatorKind int
+
+const (
+	// DeadlineAwareAlloc (default) is weighted-min-sum-latency with
+	// deadline and stability lower bounds.
+	DeadlineAwareAlloc AllocatorKind = iota
+	// MinSumAlloc ignores deadlines.
+	MinSumAlloc
+	// MinMaxAlloc minimizes the worst per-user latency.
+	MinMaxAlloc
+)
+
+// Planner is the joint surgery + allocation + assignment optimizer.
+type Planner struct {
+	Opt Options
+}
+
+// Name implements Strategy.
+func (p *Planner) Name() string {
+	switch {
+	case p.Opt.DisableSurgery && p.Opt.DisableAllocation:
+		return "neither"
+	case p.Opt.DisableSurgery:
+		return "alloc-only"
+	case p.Opt.DisableAllocation:
+		return "surgery-only"
+	default:
+		return "joint"
+	}
+}
+
+func (p *Planner) opts() Options {
+	o := p.Opt
+	if o.MaxIters <= 0 {
+		o.MaxIters = 12
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = 1e-3
+	}
+	return o
+}
+
+// Plan implements Strategy: block-coordinate descent over (surgery,
+// allocation, assignment).
+func (p *Planner) Plan(sc *Scenario) (*Plan, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	opt := p.opts()
+	st, err := newState(sc, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	// Round 0: initial surgery at equal shares, then allocation. The
+	// trajectory records the objective after every half-step so the
+	// convergence figure (E10) shows where each mechanism contributes.
+	if err := st.surgeryStep(); err != nil {
+		return nil, err
+	}
+	traj := []float64{objective(sc, st.ds)} // surgery at equal shares
+	st.allocStep()
+	prev := objective(sc, st.ds)
+	traj = append(traj, prev) // + allocation
+
+	bestObj := prev
+	bestDs := append([]Decision(nil), st.ds...)
+	bestFeasible := st.feasible
+
+	iters := 1
+	for ; iters < opt.MaxIters; iters++ {
+		if !opt.DisableReassignment && len(sc.Servers) > 1 {
+			if err := st.reassignStep(); err != nil {
+				return nil, err
+			}
+		}
+		if err := st.surgeryStep(); err != nil {
+			return nil, err
+		}
+		st.allocStep()
+		cur := objective(sc, st.ds)
+		traj = append(traj, cur)
+		if cur < bestObj {
+			bestObj = cur
+			bestDs = append(bestDs[:0], st.ds...)
+			bestFeasible = st.feasible
+		}
+		if prev-cur <= opt.Epsilon*math.Max(prev, 1e-12) {
+			iters++
+			break
+		}
+		prev = cur
+	}
+
+	return &Plan{
+		Decisions:   bestDs,
+		Objective:   bestObj,
+		Feasible:    bestFeasible,
+		Iterations:  iters,
+		Trajectory:  traj,
+		PlannerName: p.Name(),
+	}, nil
+}
+
+// PlanWithAssignment runs the alternating surgery/allocation refinement to
+// convergence with a pinned user-to-server assignment (no reassignment
+// step). The exhaustive-assignment optimality reference enumerates
+// assignments and calls this for each.
+func PlanWithAssignment(sc *Scenario, opt Options, assign []int) (*Plan, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if len(assign) != len(sc.Users) {
+		return nil, fmt.Errorf("joint: assignment length %d for %d users", len(assign), len(sc.Users))
+	}
+	p := Planner{Opt: opt}
+	opt = p.opts()
+	st, err := newState(sc, opt)
+	if err != nil {
+		return nil, err
+	}
+	for s := range st.assigned {
+		st.assigned[s] = st.assigned[s][:0]
+	}
+	for ui, s := range assign {
+		if s < -1 || s >= len(sc.Servers) {
+			return nil, fmt.Errorf("joint: user %d assigned to unknown server %d", ui, s)
+		}
+		st.ds[ui].Server = s
+		if s >= 0 {
+			st.assigned[s] = append(st.assigned[s], ui)
+		}
+	}
+	st.equalShares()
+
+	if err := st.surgeryStep(); err != nil {
+		return nil, err
+	}
+	st.allocStep()
+	prev := objective(sc, st.ds)
+	bestObj := prev
+	bestDs := append([]Decision(nil), st.ds...)
+	bestFeasible := st.feasible
+	iters := 1
+	for ; iters < opt.MaxIters; iters++ {
+		if err := st.surgeryStep(); err != nil {
+			return nil, err
+		}
+		st.allocStep()
+		cur := objective(sc, st.ds)
+		if cur < bestObj {
+			bestObj = cur
+			bestDs = append(bestDs[:0], st.ds...)
+			bestFeasible = st.feasible
+		}
+		if prev-cur <= opt.Epsilon*math.Max(prev, 1e-12) {
+			iters++
+			break
+		}
+		prev = cur
+	}
+	return &Plan{
+		Decisions:   bestDs,
+		Objective:   bestObj,
+		Feasible:    bestFeasible,
+		Iterations:  iters,
+		PlannerName: "joint-fixed-assignment",
+	}, nil
+}
+
+// state carries the evolving decision set.
+type state struct {
+	sc       *Scenario
+	opt      Options
+	ds       []Decision
+	assigned [][]int // per server: user indices
+	feasible bool
+	uplink   []float64 // cached mean uplink rate per server
+}
+
+func newState(sc *Scenario, opt Options) (*state, error) {
+	st := &state{sc: sc, opt: opt, feasible: true}
+	st.ds = make([]Decision, len(sc.Users))
+	st.assigned = make([][]int, len(sc.Servers))
+	st.uplink = make([]float64, len(sc.Servers))
+	for s := range sc.Servers {
+		st.uplink[s] = sc.meanUplink(s)
+	}
+
+	// Initial assignment: heaviest-work users first onto the server with
+	// the smallest normalized pending load (work / capacity).
+	if len(sc.Servers) == 0 {
+		for i := range st.ds {
+			st.ds[i].Server = -1
+		}
+		return st, nil
+	}
+	order := make([]int, len(sc.Users))
+	for i := range order {
+		order[i] = i
+	}
+	work := make([]float64, len(sc.Users))
+	for i, u := range sc.Users {
+		work[i] = float64(u.Model.TotalFLOPs()) * math.Max(u.planningRate(), 0.01)
+	}
+	// Insertion sort by descending work (N is small; avoids pulling in
+	// sort for a stable tie order).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && work[order[j]] > work[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	load := make([]float64, len(sc.Servers))
+	for _, ui := range order {
+		best, bestLoad := 0, math.Inf(1)
+		for s := range sc.Servers {
+			l := load[s] / sc.Servers[s].Profile.PeakFLOPS
+			if l < bestLoad {
+				best, bestLoad = s, l
+			}
+		}
+		st.ds[ui].Server = best
+		st.assigned[best] = append(st.assigned[best], ui)
+		load[best] += work[ui]
+	}
+	st.equalShares()
+	return st, nil
+}
+
+// equalShares resets every server's shares to the uniform split.
+func (st *state) equalShares() {
+	for s := range st.assigned {
+		n := len(st.assigned[s])
+		if n == 0 {
+			continue
+		}
+		for _, ui := range st.assigned[s] {
+			st.ds[ui].ComputeShare = 1 / float64(n)
+			st.ds[ui].BandwidthShare = 1 / float64(n)
+		}
+	}
+}
+
+// env builds the surgery environment for user ui. Shares are floored at
+// the fair split of the user's server: allocation gives near-zero shares to
+// users whose current plan is fully local, and without the floor such a
+// user could never discover that offloading at a reasonable share beats
+// staying local (a cold-start lock-in of the block-coordinate iteration).
+// The planner keeps a best-objective snapshot, so optimistic probing can
+// never worsen the returned plan.
+func (st *state) env(ui int) surgery.Env {
+	u := &st.sc.Users[ui]
+	d := &st.ds[ui]
+	env := surgery.Env{
+		Device:     u.Device,
+		Difficulty: u.Difficulty,
+		Curves:     st.sc.Curves,
+		Rate:       u.planningRate(),
+		TxFactor:   u.TxCompression,
+	}
+	if d.Server >= 0 {
+		srv := &st.sc.Servers[d.Server]
+		env.Server = srv.Profile
+		// Probe share: what this user would plausibly receive if it chose
+		// to offload — an equal split among the server's *current*
+		// offloaders plus itself. In the first round nobody offloads yet,
+		// so the probe is optimistic (share 1) and users discover offload
+		// opportunities; as offloaders accumulate the probe tightens.
+		probe := 1 / float64(1+st.offloaders(d.Server, ui))
+		if st.opt.DisableProbe {
+			probe = 0
+		}
+		env.ComputeShare = math.Max(orOne(d.ComputeShare), probe)
+		env.BandwidthShare = math.Max(orOne(d.BandwidthShare), probe)
+		env.UplinkBps = st.uplink[d.Server]
+		env.RTT = srv.RTT
+	}
+	return env
+}
+
+// offloaders counts the users assigned to server s (excluding `except`)
+// whose current plan crosses the partition boundary.
+func (st *state) offloaders(s, except int) int {
+	n := 0
+	for _, ui := range st.assigned[s] {
+		if ui == except {
+			continue
+		}
+		p := &st.ds[ui].Plan
+		if p.Model != nil && p.Partition < p.Model.NumUnits() {
+			n++
+		}
+	}
+	return n
+}
+
+// surgeryStep re-optimizes every user's plan at the current shares.
+// Holding shares fixed, each user's latency can only decrease, so the
+// objective is monotone non-increasing across this step.
+func (st *state) surgeryStep() error {
+	for ui := range st.sc.Users {
+		u := &st.sc.Users[ui]
+		sopt := st.opt.Surgery
+		sopt.FixedPartition = surgery.FreePartition
+		if u.MinAccuracy > 0 {
+			sopt.MinAccuracy = u.MinAccuracy
+		}
+		if st.opt.DisableSurgery {
+			sopt.NoExits = true
+		}
+		env := st.env(ui)
+		plan, ev, err := surgery.Optimize(u.Model, env, sopt)
+		if err != nil {
+			return fmt.Errorf("joint: surgery for user %d (%s): %w", ui, u.Name, err)
+		}
+		st.ds[ui].Plan = plan
+		st.ds[ui].Eval = ev
+	}
+	return nil
+}
+
+// demandsFor builds the per-server allocation inputs from current evals.
+func (st *state) demandsFor(s int) []alloc.Demand {
+	out := make([]alloc.Demand, len(st.assigned[s]))
+	for i, ui := range st.assigned[s] {
+		u := &st.sc.Users[ui]
+		ev := st.ds[ui].Eval
+		out[i] = alloc.Demand{
+			Fixed:    ev.FixedSec,
+			Server:   ev.ServerSec,
+			Tx:       ev.TxSec,
+			Weight:   u.weight(),
+			Deadline: u.Deadline,
+			Rate:     u.planningRate(),
+		}
+	}
+	return out
+}
+
+// allocStep re-splits every server's resources given the current plans.
+func (st *state) allocStep() {
+	st.feasible = true
+	if st.opt.DisableAllocation {
+		st.equalShares()
+		// Equal shares may still violate deadlines; report feasibility
+		// against them for parity with the allocating arms.
+		for s := range st.assigned {
+			for _, ui := range st.assigned[s] {
+				u := &st.sc.Users[ui]
+				if u.Deadline > 0 && st.ds[ui].Latency() > u.Deadline {
+					st.feasible = false
+				}
+			}
+		}
+		return
+	}
+	for s := range st.assigned {
+		if len(st.assigned[s]) == 0 {
+			continue
+		}
+		demands := st.demandsFor(s)
+		var a alloc.Allocation
+		switch st.opt.Allocator {
+		case MinSumAlloc:
+			a = alloc.MinSumLatency(demands)
+		case MinMaxAlloc:
+			a, _ = alloc.MinMaxLatency(demands)
+		default:
+			a = alloc.DeadlineAware(demands)
+		}
+		if !a.Feasible {
+			st.feasible = false
+		}
+		for i, ui := range st.assigned[s] {
+			st.ds[ui].ComputeShare = math.Max(a.Compute[i], 1e-9)
+			st.ds[ui].BandwidthShare = math.Max(a.Bandwidth[i], 1e-9)
+		}
+	}
+}
+
+// reassignStep greedily migrates users between servers when the move
+// strictly improves the objective. Each accepted move re-runs surgery for
+// the moved user and allocation for the two touched servers, so the
+// objective comparison is exact.
+func (st *state) reassignStep() error {
+	type snapshot struct {
+		ds       []Decision
+		assigned [][]int
+	}
+	save := func() snapshot {
+		s := snapshot{ds: append([]Decision(nil), st.ds...), assigned: make([][]int, len(st.assigned))}
+		for i := range st.assigned {
+			s.assigned[i] = append([]int(nil), st.assigned[i]...)
+		}
+		return s
+	}
+	restore := func(s snapshot) {
+		st.ds = s.ds
+		st.assigned = s.assigned
+	}
+
+	for ui := range st.sc.Users {
+		from := st.ds[ui].Server
+		if from < 0 {
+			continue
+		}
+		base := objective(st.sc, st.ds)
+		snap := save()
+		improved := false
+		for to := range st.sc.Servers {
+			if to == from {
+				continue
+			}
+			st.moveUser(ui, from, to)
+			// Cheap local refresh: surgery for the moved user at its new
+			// equalized share, allocation on both touched servers.
+			if err := st.refreshUser(ui); err != nil {
+				restore(snap)
+				return err
+			}
+			st.allocServer(from)
+			st.allocServer(to)
+			if err := st.refreshUser(ui); err != nil {
+				restore(snap)
+				return err
+			}
+			if cur := objective(st.sc, st.ds); cur < base*(1-1e-9) {
+				improved = true
+				break
+			}
+			restore(snap)
+			snap = save()
+		}
+		if !improved {
+			restore(snap)
+		}
+	}
+	return nil
+}
+
+func (st *state) moveUser(ui, from, to int) {
+	lst := st.assigned[from]
+	for i, v := range lst {
+		if v == ui {
+			st.assigned[from] = append(lst[:i], lst[i+1:]...)
+			break
+		}
+	}
+	st.assigned[to] = append(st.assigned[to], ui)
+	st.ds[ui].Server = to
+	n := float64(len(st.assigned[to]))
+	st.ds[ui].ComputeShare = 1 / n
+	st.ds[ui].BandwidthShare = 1 / n
+}
+
+// refreshUser re-runs surgery for a single user at current shares.
+func (st *state) refreshUser(ui int) error {
+	u := &st.sc.Users[ui]
+	sopt := st.opt.Surgery
+	sopt.FixedPartition = surgery.FreePartition
+	if u.MinAccuracy > 0 {
+		sopt.MinAccuracy = u.MinAccuracy
+	}
+	if st.opt.DisableSurgery {
+		sopt.NoExits = true
+	}
+	plan, ev, err := surgery.Optimize(u.Model, st.env(ui), sopt)
+	if err != nil {
+		return fmt.Errorf("joint: surgery for user %d (%s): %w", ui, u.Name, err)
+	}
+	st.ds[ui].Plan = plan
+	st.ds[ui].Eval = ev
+	return nil
+}
+
+// allocServer re-allocates one server in isolation.
+func (st *state) allocServer(s int) {
+	if len(st.assigned[s]) == 0 {
+		return
+	}
+	if st.opt.DisableAllocation {
+		n := float64(len(st.assigned[s]))
+		for _, ui := range st.assigned[s] {
+			st.ds[ui].ComputeShare = 1 / n
+			st.ds[ui].BandwidthShare = 1 / n
+		}
+		return
+	}
+	demands := st.demandsFor(s)
+	var a alloc.Allocation
+	switch st.opt.Allocator {
+	case MinSumAlloc:
+		a = alloc.MinSumLatency(demands)
+	case MinMaxAlloc:
+		a, _ = alloc.MinMaxLatency(demands)
+	default:
+		a = alloc.DeadlineAware(demands)
+	}
+	for i, ui := range st.assigned[s] {
+		st.ds[ui].ComputeShare = math.Max(a.Compute[i], 1e-9)
+		st.ds[ui].BandwidthShare = math.Max(a.Bandwidth[i], 1e-9)
+	}
+}

@@ -1,0 +1,183 @@
+// Package joint implements the paper's primary contribution: joint
+// optimization of model surgery and resource allocation in a heterogeneous
+// edge cluster. A block-coordinate planner alternates three monotone steps
+// — per-user surgery (package surgery), per-server convex resource
+// allocation (package alloc), and marginal-gain server reassignment — each
+// of which never increases the weighted-latency objective, so the iteration
+// converges; experiment E10 plots the trajectory.
+package joint
+
+import (
+	"fmt"
+
+	"edgesurgeon/internal/dnn"
+	"edgesurgeon/internal/hardware"
+	"edgesurgeon/internal/netmodel"
+	"edgesurgeon/internal/surgery"
+	"edgesurgeon/internal/workload"
+)
+
+// User describes one inference application instance at the edge.
+type User struct {
+	// Name labels the user in tables and traces.
+	Name string
+	// Model is the user's DNN workload.
+	Model *dnn.Model
+	// Device is the user's end device.
+	Device *hardware.Profile
+	// Rate is the mean request rate in tasks/second.
+	Rate float64
+	// ProvisionRate, when positive, is the rate the planner provisions
+	// stability and deadline bounds for instead of Rate — set it above
+	// Rate to absorb bursty (e.g. MMPP) arrivals. Workload generation
+	// always uses Rate.
+	ProvisionRate float64
+	// TxCompression scales the bytes sent across the partition boundary
+	// (activation quantization/compression before transfer); 0 means 1
+	// (no compression).
+	TxCompression float64
+	// Deadline is the per-task latency SLO in seconds (0 = none).
+	Deadline float64
+	// Weight is the user's priority in the objective (<= 0 means 1).
+	Weight float64
+	// MinAccuracy is the user's expected-accuracy floor (0 = none).
+	MinAccuracy float64
+	// Difficulty is the user's input-difficulty distribution.
+	Difficulty workload.DifficultyKind
+	// Arrivals selects the arrival process used when simulating.
+	Arrivals workload.ArrivalKind
+	// BurstFactor parameterizes MMPP arrivals.
+	BurstFactor float64
+	// Seed fixes the user's workload randomness in simulation.
+	Seed int64
+}
+
+func (u *User) weight() float64 {
+	if u.Weight <= 0 {
+		return 1
+	}
+	return u.Weight
+}
+
+// planningRate returns the rate the planner provisions for.
+func (u *User) planningRate() float64 {
+	if u.ProvisionRate > 0 {
+		return u.ProvisionRate
+	}
+	return u.Rate
+}
+
+// Server describes one edge server and the uplink its users share.
+type Server struct {
+	Name    string
+	Profile *hardware.Profile
+	Link    netmodel.Link
+	// RTT is the device-server round trip in seconds.
+	RTT float64
+}
+
+// Scenario is a complete planning problem.
+type Scenario struct {
+	Users   []User
+	Servers []Server
+	// Curves calibrates exit behaviour for every user (zero value means
+	// surgery.DefaultCurves).
+	Curves surgery.ExitCurves
+	// PlanningHorizon is the window over which time-varying link rates
+	// are averaged for planning (default 60 s).
+	PlanningHorizon float64
+}
+
+// Validate checks scenario consistency.
+func (sc *Scenario) Validate() error {
+	if len(sc.Users) == 0 {
+		return fmt.Errorf("joint: scenario has no users")
+	}
+	for i, u := range sc.Users {
+		if u.Model == nil || u.Device == nil {
+			return fmt.Errorf("joint: user %d (%s) missing model or device", i, u.Name)
+		}
+		if u.Rate < 0 {
+			return fmt.Errorf("joint: user %d (%s) negative rate", i, u.Name)
+		}
+	}
+	for i, s := range sc.Servers {
+		if s.Profile == nil {
+			return fmt.Errorf("joint: server %d (%s) missing profile", i, s.Name)
+		}
+		if !s.Profile.Class.IsServer() {
+			return fmt.Errorf("joint: server %d (%s) uses non-server profile %s", i, s.Name, s.Profile.Name)
+		}
+		if s.Link == nil {
+			return fmt.Errorf("joint: server %d (%s) missing link", i, s.Name)
+		}
+	}
+	return nil
+}
+
+func (sc *Scenario) horizon() float64 {
+	if sc.PlanningHorizon > 0 {
+		return sc.PlanningHorizon
+	}
+	return 60
+}
+
+// meanUplink returns server s's planning-time uplink rate.
+func (sc *Scenario) meanUplink(s int) float64 {
+	return netmodel.MeanRate(sc.Servers[s].Link, sc.horizon())
+}
+
+// Decision is the planner's output for one user.
+type Decision struct {
+	Plan surgery.Plan
+	Eval surgery.Eval
+	// Server is the assigned server index, or -1 for device-only.
+	Server int
+	// ComputeShare and BandwidthShare are the allocated fractions on the
+	// assigned server and its uplink.
+	ComputeShare, BandwidthShare float64
+}
+
+// Latency returns the decision's expected latency at its shares.
+func (d *Decision) Latency() float64 {
+	return d.Eval.LatencyAt(orOne(d.ComputeShare), orOne(d.BandwidthShare))
+}
+
+func orOne(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	return v
+}
+
+// Plan is a complete deployment decision for a scenario.
+type Plan struct {
+	Decisions []Decision
+	// Objective is the weighted sum of expected latencies.
+	Objective float64
+	// Feasible reports whether all deadline/stability constraints were
+	// satisfiable.
+	Feasible bool
+	// Iterations is the number of block-coordinate rounds executed.
+	Iterations int
+	// Trajectory records the objective after every round (experiment E10).
+	Trajectory []float64
+	// PlannerName identifies the strategy that produced the plan.
+	PlannerName string
+}
+
+// Strategy is anything that can plan a scenario: the joint planner and
+// every baseline implement it.
+type Strategy interface {
+	Name() string
+	Plan(sc *Scenario) (*Plan, error)
+}
+
+// objective computes the weighted expected-latency sum of a decision set.
+func objective(sc *Scenario, ds []Decision) float64 {
+	var sum float64
+	for i := range ds {
+		sum += sc.Users[i].weight() * ds[i].Latency()
+	}
+	return sum
+}

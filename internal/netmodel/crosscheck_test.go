@@ -1,0 +1,74 @@
+package netmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// numericTransfer integrates a transfer by brute-force fixed-step
+// quadrature — the reference the exact segment-walking implementation must
+// agree with.
+func numericTransfer(l Link, bytes int64, start, share float64, dt float64) float64 {
+	remaining := float64(bytes) * 8
+	t := start
+	for remaining > 0 {
+		rate := l.RateAt(t) * share
+		remaining -= rate * dt
+		t += dt
+	}
+	return t - start + l.RTT()
+}
+
+func TestTransferMatchesNumericIntegration(t *testing.T) {
+	link, err := NewFading("wlan", FadingConfig{
+		States: []float64{Mbps(1), Mbps(8), Mbps(30)}, MeanDwell: 0.7,
+		Horizon: 400, RTT: 0.002, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(18))
+	for trial := 0; trial < 25; trial++ {
+		bytes := int64(10_000 + rng.Intn(3_000_000))
+		start := rng.Float64() * 300
+		share := 0.2 + rng.Float64()*0.8
+		exact := TransferTime(link, bytes, start, share)
+		approx := numericTransfer(link, bytes, start, share, 1e-5)
+		// Rectangle-rule boundary slop: bits over-credited at a fast->slow
+		// state change take up to rate-ratio x dt longer to repay, so the
+		// tolerance is a small multiple of dt x max-ratio (30x here).
+		if math.Abs(exact-approx) > 1e-3*(1+approx) {
+			t.Fatalf("trial %d (bytes=%d start=%.3f share=%.2f): exact %.6f vs numeric %.6f",
+				trial, bytes, start, share, exact, approx)
+		}
+	}
+}
+
+func TestTransferStartMonotonicityOnStatic(t *testing.T) {
+	// On a static link, transfer duration is independent of start time.
+	l := NewStatic("eth", Mbps(10), 0.001)
+	base := TransferTime(l, 500_000, 0, 0.7)
+	for _, start := range []float64{1, 17.3, 999} {
+		if got := TransferTime(l, 500_000, start, 0.7); math.Abs(got-base) > 1e-12 {
+			t.Fatalf("start %g changed duration: %g vs %g", start, got, base)
+		}
+	}
+}
+
+func TestMeanRateConvergesToStateAverage(t *testing.T) {
+	// With symmetric two-state fading, the long-run mean approaches the
+	// average of the states.
+	states := []float64{Mbps(4), Mbps(36)}
+	link, err := NewFading("wlan", FadingConfig{
+		States: states, MeanDwell: 1, Horizon: 5000, RTT: 0, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := MeanRate(link, 5000)
+	want := (states[0] + states[1]) / 2
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("long-run mean %.3g, want ~%.3g", got, want)
+	}
+}

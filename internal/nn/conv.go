@@ -1,0 +1,238 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Conv2D is a 2-D convolution layer over CHW feature maps flattened into
+// matrix rows (batch x C*H*W). It implements the same forward/backward
+// contract as the dense layer and exists so the engine can train real
+// convolutional feature extractors, not just MLPs.
+type Conv2D struct {
+	InC, InH, InW        int
+	OutC, K, Stride, Pad int
+	OutH, OutW           int
+
+	W  []float64 // [outC][inC][k][k]
+	B  []float64 // [outC]
+	gW []float64
+	gB []float64
+	mW []float64
+	mB []float64
+
+	in *Matrix // cached input
+}
+
+// NewConv2D builds a conv layer with He initialization.
+func NewConv2D(rng *rand.Rand, inC, inH, inW, outC, k, stride, pad int) (*Conv2D, error) {
+	outH := (inH+2*pad-k)/stride + 1
+	outW := (inW+2*pad-k)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		return nil, fmt.Errorf("nn: conv output %dx%d non-positive", outH, outW)
+	}
+	c := &Conv2D{
+		InC: inC, InH: inH, InW: inW,
+		OutC: outC, K: k, Stride: stride, Pad: pad,
+		OutH: outH, OutW: outW,
+	}
+	n := outC * inC * k * k
+	c.W = make([]float64, n)
+	c.gW = make([]float64, n)
+	c.mW = make([]float64, n)
+	c.B = make([]float64, outC)
+	c.gB = make([]float64, outC)
+	c.mB = make([]float64, outC)
+	std := math.Sqrt(2 / float64(inC*k*k))
+	for i := range c.W {
+		c.W[i] = rng.NormFloat64() * std
+	}
+	return c, nil
+}
+
+// OutSize returns the flattened output width.
+func (c *Conv2D) OutSize() int { return c.OutC * c.OutH * c.OutW }
+
+// InSize returns the flattened input width.
+func (c *Conv2D) InSize() int { return c.InC * c.InH * c.InW }
+
+func (c *Conv2D) wAt(oc, ic, ky, kx int) int {
+	return ((oc*c.InC+ic)*c.K+ky)*c.K + kx
+}
+
+// Forward convolves every row of x (batch x InSize) into (batch x OutSize).
+func (c *Conv2D) Forward(x *Matrix) *Matrix {
+	if x.Cols != c.InSize() {
+		panic(fmt.Sprintf("nn: conv input width %d, want %d", x.Cols, c.InSize()))
+	}
+	c.in = x
+	out := NewMatrix(x.Rows, c.OutSize())
+	for b := 0; b < x.Rows; b++ {
+		in := x.Row(b)
+		o := out.Row(b)
+		for oc := 0; oc < c.OutC; oc++ {
+			bias := c.B[oc]
+			for oy := 0; oy < c.OutH; oy++ {
+				for ox := 0; ox < c.OutW; ox++ {
+					sum := bias
+					iy0 := oy*c.Stride - c.Pad
+					ix0 := ox*c.Stride - c.Pad
+					for ic := 0; ic < c.InC; ic++ {
+						for ky := 0; ky < c.K; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= c.InH {
+								continue
+							}
+							for kx := 0; kx < c.K; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= c.InW {
+									continue
+								}
+								sum += c.W[c.wAt(oc, ic, ky, kx)] * in[(ic*c.InH+iy)*c.InW+ix]
+							}
+						}
+					}
+					o[(oc*c.OutH+oy)*c.OutW+ox] = sum
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward consumes dOut and returns dIn, accumulating parameter grads.
+func (c *Conv2D) Backward(dOut *Matrix) *Matrix {
+	x := c.in
+	dIn := NewMatrix(x.Rows, c.InSize())
+	for i := range c.gW {
+		c.gW[i] = 0
+	}
+	for i := range c.gB {
+		c.gB[i] = 0
+	}
+	for b := 0; b < x.Rows; b++ {
+		in := x.Row(b)
+		do := dOut.Row(b)
+		di := dIn.Row(b)
+		for oc := 0; oc < c.OutC; oc++ {
+			for oy := 0; oy < c.OutH; oy++ {
+				for ox := 0; ox < c.OutW; ox++ {
+					g := do[(oc*c.OutH+oy)*c.OutW+ox]
+					if g == 0 {
+						continue
+					}
+					c.gB[oc] += g
+					iy0 := oy*c.Stride - c.Pad
+					ix0 := ox*c.Stride - c.Pad
+					for ic := 0; ic < c.InC; ic++ {
+						for ky := 0; ky < c.K; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= c.InH {
+								continue
+							}
+							for kx := 0; kx < c.K; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= c.InW {
+									continue
+								}
+								wi := c.wAt(oc, ic, ky, kx)
+								xi := (ic*c.InH+iy)*c.InW + ix
+								c.gW[wi] += g * in[xi]
+								di[xi] += g * c.W[wi]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dIn
+}
+
+// Step applies one SGD-with-momentum update.
+func (c *Conv2D) Step(lr, momentum float64, batch int) {
+	scale := lr / float64(batch)
+	for i, g := range c.gW {
+		c.mW[i] = momentum*c.mW[i] - scale*g
+		c.W[i] += c.mW[i]
+	}
+	for i, g := range c.gB {
+		c.mB[i] = momentum*c.mB[i] - scale*g
+		c.B[i] += c.mB[i]
+	}
+}
+
+// MaxPool2D is a 2-D max-pooling layer over CHW rows.
+type MaxPool2D struct {
+	C, InH, InW, K, Stride int
+	OutH, OutW             int
+	argmax                 []int32 // per forward: winner input index per output
+	rows                   int
+}
+
+// NewMaxPool2D builds a pooling layer.
+func NewMaxPool2D(c, inH, inW, k, stride int) (*MaxPool2D, error) {
+	outH := (inH-k)/stride + 1
+	outW := (inW-k)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		return nil, fmt.Errorf("nn: pool output %dx%d non-positive", outH, outW)
+	}
+	return &MaxPool2D{C: c, InH: inH, InW: inW, K: k, Stride: stride, OutH: outH, OutW: outW}, nil
+}
+
+// OutSize returns the flattened output width.
+func (p *MaxPool2D) OutSize() int { return p.C * p.OutH * p.OutW }
+
+// InSize returns the flattened input width.
+func (p *MaxPool2D) InSize() int { return p.C * p.InH * p.InW }
+
+// Forward pools every row, memoizing argmax indices for backward.
+func (p *MaxPool2D) Forward(x *Matrix) *Matrix {
+	if x.Cols != p.InSize() {
+		panic(fmt.Sprintf("nn: pool input width %d, want %d", x.Cols, p.InSize()))
+	}
+	p.rows = x.Rows
+	out := NewMatrix(x.Rows, p.OutSize())
+	p.argmax = make([]int32, x.Rows*p.OutSize())
+	for b := 0; b < x.Rows; b++ {
+		in := x.Row(b)
+		o := out.Row(b)
+		for c := 0; c < p.C; c++ {
+			for oy := 0; oy < p.OutH; oy++ {
+				for ox := 0; ox < p.OutW; ox++ {
+					best := math.Inf(-1)
+					bestIdx := 0
+					for ky := 0; ky < p.K; ky++ {
+						iy := oy*p.Stride + ky
+						for kx := 0; kx < p.K; kx++ {
+							ix := ox*p.Stride + kx
+							idx := (c*p.InH+iy)*p.InW + ix
+							if in[idx] > best {
+								best = in[idx]
+								bestIdx = idx
+							}
+						}
+					}
+					oi := (c*p.OutH+oy)*p.OutW + ox
+					o[oi] = best
+					p.argmax[b*p.OutSize()+oi] = int32(bestIdx)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward routes each output gradient to the winning input position.
+func (p *MaxPool2D) Backward(dOut *Matrix) *Matrix {
+	dIn := NewMatrix(p.rows, p.InSize())
+	for b := 0; b < p.rows; b++ {
+		do := dOut.Row(b)
+		di := dIn.Row(b)
+		for oi, g := range do {
+			di[p.argmax[b*p.OutSize()+oi]] += g
+		}
+	}
+	return dIn
+}

@@ -1,0 +1,170 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConv2DShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c, err := NewConv2D(rng, 3, 8, 8, 4, 3, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.OutH != 8 || c.OutW != 8 {
+		t.Errorf("out = %dx%d, want 8x8 (same padding)", c.OutH, c.OutW)
+	}
+	x := NewMatrix(2, c.InSize())
+	out := c.Forward(x)
+	if out.Cols != c.OutSize() || out.Rows != 2 {
+		t.Errorf("forward shape %dx%d", out.Rows, out.Cols)
+	}
+	if _, err := NewConv2D(rng, 1, 2, 2, 1, 5, 1, 0); err == nil {
+		t.Error("accepted kernel larger than input")
+	}
+}
+
+func TestConv2DKnownValue(t *testing.T) {
+	// 1x3x3 input, single 2x2 kernel of ones, stride 1, no pad:
+	// output[oy][ox] = sum of the 2x2 window.
+	rng := rand.New(rand.NewSource(2))
+	c, err := NewConv2D(rng, 1, 3, 3, 1, 2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.W {
+		c.W[i] = 1
+	}
+	c.B[0] = 0.5
+	x := NewMatrix(1, 9)
+	copy(x.Data, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	out := c.Forward(x)
+	want := []float64{1 + 2 + 4 + 5 + 0.5, 2 + 3 + 5 + 6 + 0.5, 4 + 5 + 7 + 8 + 0.5, 5 + 6 + 8 + 9 + 0.5}
+	for i, w := range want {
+		if math.Abs(out.Data[i]-w) > 1e-12 {
+			t.Fatalf("out = %v, want %v", out.Data, want)
+		}
+	}
+}
+
+func TestMaxPool2DKnownValue(t *testing.T) {
+	p, err := NewMaxPool2D(1, 4, 4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := NewMatrix(1, 16)
+	copy(x.Data, []float64{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	})
+	out := p.Forward(x)
+	want := []float64{6, 8, 14, 16}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Fatalf("pool = %v, want %v", out.Data, want)
+		}
+	}
+	// Backward routes gradient to the argmax positions.
+	d := NewMatrix(1, 4)
+	copy(d.Data, []float64{1, 2, 3, 4})
+	din := p.Backward(d)
+	if din.Data[5] != 1 || din.Data[7] != 2 || din.Data[13] != 3 || din.Data[15] != 4 {
+		t.Fatalf("pool backward = %v", din.Data)
+	}
+	var sum float64
+	for _, v := range din.Data {
+		sum += v
+	}
+	if sum != 10 {
+		t.Errorf("gradient not conserved: %g", sum)
+	}
+}
+
+// TestConvNetGradientCheck compares analytic parameter gradients against
+// central finite differences — the gold-standard backpropagation test.
+func TestConvNetGradientCheck(t *testing.T) {
+	net, err := NewConvNet(ConvNetConfig{
+		InC: 1, InH: 6, InW: 6, C1: 2, C2: 3, Kernel: 3, Classes: 2, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	x := NewMatrix(4, 36)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	y := []int{0, 1, 1, 0}
+
+	// One backward pass to populate analytic gradients (without stepping:
+	// use lr=0 so parameters stay put).
+	net.TrainBatch(x, y, 0, 0)
+
+	const eps = 1e-5
+	check := func(name string, w []float64, g []float64, indices []int) {
+		for _, i := range indices {
+			orig := w[i]
+			w[i] = orig + eps
+			lp := net.Loss(x, y)
+			w[i] = orig - eps
+			lm := net.Loss(x, y)
+			w[i] = orig
+			numeric := (lp - lm) / (2 * eps)
+			if math.Abs(numeric-g[i]) > 1e-4*(1+math.Abs(numeric)) {
+				t.Errorf("%s[%d]: analytic %.8g vs numeric %.8g", name, i, g[i], numeric)
+			}
+		}
+	}
+	mid := func(w []float64) []int { return []int{0, len(w) / 2, len(w) - 1} }
+	check("conv1.W", net.conv1.W, net.conv1.gW, mid(net.conv1.W))
+	check("conv1.B", net.conv1.B, net.conv1.gB, mid(net.conv1.B))
+	check("conv2.W", net.conv2.W, net.conv2.gW, mid(net.conv2.W))
+	check("fc.W", net.fc.W.Data, net.fc.gW.Data, mid(net.fc.W.Data))
+	check("fc.B", net.fc.B.Data, net.fc.gB.Data, mid(net.fc.B.Data))
+}
+
+func TestConvNetLearnsStripes(t *testing.T) {
+	x, y := StripeImages(600, 10, 10, 0.3, 21)
+	xTest, yTest := StripeImages(200, 10, 10, 0.3, 22)
+	net, err := NewConvNet(ConvNetConfig{
+		InC: 1, InH: 10, InW: 10, C1: 4, C2: 8, Kernel: 3, Classes: 2, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(24))
+	const batch = 32
+	for epoch := 0; epoch < 6; epoch++ {
+		order := rng.Perm(x.Rows)
+		for s := 0; s+batch <= len(order); s += batch {
+			xb := NewMatrix(batch, x.Cols)
+			yb := make([]int, batch)
+			for i := 0; i < batch; i++ {
+				copy(xb.Row(i), x.Row(order[s+i]))
+				yb[i] = y[order[s+i]]
+			}
+			net.TrainBatch(xb, yb, 0.1, 0.9)
+		}
+	}
+	acc := net.Accuracy(xTest, yTest)
+	if acc < 0.95 {
+		t.Errorf("stripe accuracy %.3f, want >= 0.95", acc)
+	}
+}
+
+func TestStripeImagesBalanced(t *testing.T) {
+	x, y := StripeImages(400, 8, 8, 0.1, 3)
+	if x.Rows != 400 || x.Cols != 64 {
+		t.Fatalf("shape %dx%d", x.Rows, x.Cols)
+	}
+	counts := map[int]int{}
+	for _, c := range y {
+		counts[c]++
+	}
+	if counts[0] < 120 || counts[1] < 120 {
+		t.Errorf("unbalanced classes: %v", counts)
+	}
+}

@@ -1,0 +1,169 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dataset is a labeled feature matrix. Difficulty records the per-sample
+// generation difficulty in [0, 1] (0 = cleanest) when the generator knows
+// it, enabling measured exit-depth-vs-difficulty analyses.
+type Dataset struct {
+	X          *Matrix
+	Y          []int
+	Difficulty []float64
+	Features   int
+	Classes    int
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Y) }
+
+// Split partitions the dataset into train/test at the given fraction.
+func (d *Dataset) Split(trainFrac float64, rng *rand.Rand) (train, test *Dataset) {
+	n := d.Len()
+	order := rng.Perm(n)
+	nTrain := int(float64(n) * trainFrac)
+	build := func(idx []int) *Dataset {
+		out := &Dataset{
+			X:        NewMatrix(len(idx), d.Features),
+			Y:        make([]int, len(idx)),
+			Features: d.Features,
+			Classes:  d.Classes,
+		}
+		if d.Difficulty != nil {
+			out.Difficulty = make([]float64, len(idx))
+		}
+		for i, j := range idx {
+			copy(out.X.Row(i), d.X.Row(j))
+			out.Y[i] = d.Y[j]
+			if d.Difficulty != nil {
+				out.Difficulty[i] = d.Difficulty[j]
+			}
+		}
+		return out
+	}
+	return build(order[:nTrain]), build(order[nTrain:])
+}
+
+// RingsConfig parameterizes a concentric-annulus classification task.
+// Class boundaries are circles in a 2-D subspace (the remaining features
+// are pure noise), so the Bayes decision rule is genuinely nonlinear:
+// shallow exits cannot match deep accuracy, unlike Gaussian mixtures whose
+// optimal boundary is linear. This is the dataset that makes measured
+// exit-accuracy curves rise with depth.
+type RingsConfig struct {
+	Samples int
+	// Features >= 2; features beyond the first two are noise.
+	Features int
+	Classes  int
+	// BandWidth is each class annulus' radial thickness.
+	BandWidth float64
+	// Jitter is the radial noise std as a fraction of BandWidth; the
+	// per-sample jitter magnitude defines its difficulty.
+	Jitter float64
+	Seed   int64
+}
+
+// Rings generates the concentric-annulus dataset.
+func Rings(cfg RingsConfig) (*Dataset, error) {
+	if cfg.Samples <= 0 || cfg.Features < 2 || cfg.Classes < 2 {
+		return nil, fmt.Errorf("nn: bad rings config %+v", cfg)
+	}
+	if cfg.BandWidth <= 0 || cfg.Jitter < 0 {
+		return nil, fmt.Errorf("nn: bad rings geometry %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := &Dataset{
+		X:          NewMatrix(cfg.Samples, cfg.Features),
+		Y:          make([]int, cfg.Samples),
+		Difficulty: make([]float64, cfg.Samples),
+		Features:   cfg.Features,
+		Classes:    cfg.Classes,
+	}
+	for i := 0; i < cfg.Samples; i++ {
+		c := rng.Intn(cfg.Classes)
+		// Radius inside class c's band, plus jitter toward neighbours.
+		u := rng.Float64()
+		base := (float64(c) + 0.5) * cfg.BandWidth
+		jit := rng.NormFloat64() * cfg.Jitter * cfg.BandWidth * u
+		radius := base + (u-0.5)*cfg.BandWidth*0.8 + jit
+		if radius < 0 {
+			radius = -radius
+		}
+		angle := rng.Float64() * 2 * math.Pi
+		row := ds.X.Row(i)
+		row[0] = radius * math.Cos(angle)
+		row[1] = radius * math.Sin(angle)
+		for j := 2; j < cfg.Features; j++ {
+			row[j] = rng.NormFloat64() * 0.5
+		}
+		ds.Y[i] = c
+		ds.Difficulty[i] = u
+	}
+	return ds, nil
+}
+
+// GaussianMixtureConfig parameterizes the synthetic classification task.
+// Class centers sit on a hypersphere; per-sample noise varies so the
+// dataset naturally contains easy samples (near centers) and hard samples
+// (near decision boundaries) — exactly the structure early-exit inference
+// exploits.
+type GaussianMixtureConfig struct {
+	Samples  int
+	Features int
+	Classes  int
+	// Radius is the center hypersphere radius (class separation).
+	Radius float64
+	// NoiseLo and NoiseHi bound the per-sample noise std; each sample
+	// draws its own std uniformly, creating an easy-to-hard continuum.
+	NoiseLo, NoiseHi float64
+	Seed             int64
+}
+
+// GaussianMixture generates the dataset.
+func GaussianMixture(cfg GaussianMixtureConfig) (*Dataset, error) {
+	if cfg.Samples <= 0 || cfg.Features < 2 || cfg.Classes < 2 {
+		return nil, fmt.Errorf("nn: bad mixture config %+v", cfg)
+	}
+	if cfg.NoiseHi < cfg.NoiseLo || cfg.NoiseLo < 0 {
+		return nil, fmt.Errorf("nn: bad noise range [%g, %g]", cfg.NoiseLo, cfg.NoiseHi)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Class centers: random orthonormal-ish directions scaled by Radius.
+	centers := make([][]float64, cfg.Classes)
+	for c := range centers {
+		v := make([]float64, cfg.Features)
+		var norm float64
+		for i := range v {
+			v[i] = rng.NormFloat64()
+			norm += v[i] * v[i]
+		}
+		norm = math.Sqrt(norm)
+		for i := range v {
+			v[i] = v[i] / norm * cfg.Radius
+		}
+		centers[c] = v
+	}
+	ds := &Dataset{
+		X:          NewMatrix(cfg.Samples, cfg.Features),
+		Y:          make([]int, cfg.Samples),
+		Difficulty: make([]float64, cfg.Samples),
+		Features:   cfg.Features,
+		Classes:    cfg.Classes,
+	}
+	span := cfg.NoiseHi - cfg.NoiseLo
+	for i := 0; i < cfg.Samples; i++ {
+		c := rng.Intn(cfg.Classes)
+		u := rng.Float64()
+		noise := cfg.NoiseLo + u*span
+		row := ds.X.Row(i)
+		for j := range row {
+			row[j] = centers[c][j] + rng.NormFloat64()*noise
+		}
+		ds.Y[i] = c
+		ds.Difficulty[i] = u
+	}
+	return ds, nil
+}

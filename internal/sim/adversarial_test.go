@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"edgesurgeon/internal/dnn"
+	"edgesurgeon/internal/hardware"
+	"edgesurgeon/internal/surgery"
+	"edgesurgeon/internal/workload"
+)
+
+// TestStationMatchesLindleyRecursion replays a random arrival/service
+// sequence through a Station and checks every start time against the exact
+// Lindley recursion start_i = max(arrival_i, finish_{i-1}).
+func TestStationMatchesLindleyRecursion(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	const n = 500
+	arrivals := make([]float64, n)
+	services := make([]float64, n)
+	tcur := 0.0
+	for i := 0; i < n; i++ {
+		tcur += rng.ExpFloat64() * 0.1
+		arrivals[i] = tcur
+		services[i] = rng.Float64() * 0.2
+	}
+
+	var eng Engine
+	st := NewStation(&eng, "q")
+	type span struct{ start, finish float64 }
+	got := make([]span, 0, n)
+	for i := 0; i < n; i++ {
+		i := i
+		eng.At(arrivals[i], func() {
+			st.Submit(
+				func(float64) float64 { return services[i] },
+				func(s, f float64) { got = append(got, span{s, f}) },
+			)
+		})
+	}
+	eng.Run()
+	if len(got) != n {
+		t.Fatalf("completed %d of %d", len(got), n)
+	}
+	prevFinish := 0.0
+	for i := 0; i < n; i++ {
+		wantStart := math.Max(arrivals[i], prevFinish)
+		if math.Abs(got[i].start-wantStart) > 1e-9 {
+			t.Fatalf("job %d start %.9g, Lindley wants %.9g", i, got[i].start, wantStart)
+		}
+		wantFinish := wantStart + services[i]
+		if math.Abs(got[i].finish-wantFinish) > 1e-9 {
+			t.Fatalf("job %d finish %.9g, want %.9g", i, got[i].finish, wantFinish)
+		}
+		prevFinish = wantFinish
+	}
+}
+
+// TestSimultaneousArrivalsBurst hits the engine with a large simultaneous
+// batch — ordering must stay FIFO by submission and nothing may be lost.
+func TestSimultaneousArrivalsBurst(t *testing.T) {
+	dev, _ := hardware.ByName("phone-soc")
+	m := dnn.MobileNetV2()
+	plan := surgery.LocalOnly(m)
+	tasks := make([]workload.Task, 200)
+	for i := range tasks {
+		tasks[i] = workload.Task{ID: i, Arrival: 1.0, Difficulty: float64(i) / 200}
+	}
+	res, err := Run(Config{
+		Users: []UserConfig{{Plan: plan, Device: dev, Server: -1, Tasks: tasks}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 200 {
+		t.Fatalf("records = %d", len(res.Records))
+	}
+	// Latency of record k must be non-decreasing in submission order
+	// (single FCFS device queue, same arrival instant).
+	for i := 1; i < len(res.Records); i++ {
+		if res.Records[i].Finish < res.Records[i-1].Finish-1e-12 {
+			t.Fatalf("FIFO violated at %d", i)
+		}
+	}
+}
+
+// TestHorizonCutoffDropsInFlight verifies horizon semantics: tasks that
+// have not finished by the horizon produce no records.
+func TestHorizonCutoffDropsInFlight(t *testing.T) {
+	dev, _ := hardware.ByName("rpi4")
+	m := dnn.VGG16() // ~5.7 s per inference on a Pi
+	tasks := []workload.Task{{ID: 0, Arrival: 0.5, Difficulty: 0.99}}
+	res, err := Run(Config{
+		Users:   []UserConfig{{Plan: surgery.LocalOnly(m), Device: dev, Server: -1, Tasks: tasks}},
+		Horizon: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 0 {
+		t.Fatalf("in-flight task leaked a record: %+v", res.Records)
+	}
+	full, err := Run(Config{
+		Users: []UserConfig{{Plan: surgery.LocalOnly(m), Device: dev, Server: -1, Tasks: tasks}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Records) != 1 {
+		t.Fatalf("unbounded run lost the task")
+	}
+}
+
+// TestDeterministicReplay runs the same config twice and demands identical
+// records (the simulator is a pure function of its inputs).
+func TestDeterministicReplay(t *testing.T) {
+	cfg1 := basicScenario(t, 6, 3, DedicatedShares)
+	cfg2 := basicScenario(t, 6, 3, DedicatedShares)
+	a, err := Run(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs:\n%+v\n%+v", i, a.Records[i], b.Records[i])
+		}
+	}
+}
+
+// TestWorkConservationDevice checks the device queue's busy time equals
+// the summed service of completed tasks.
+func TestWorkConservationDevice(t *testing.T) {
+	dev, _ := hardware.ByName("phone-soc")
+	m := dnn.AlexNet()
+	tasks := workload.Spec{User: 0, Rate: 3, Arrivals: workload.Poisson, Seed: 77}.Generate(50)
+	res, err := Run(Config{
+		Users: []UserConfig{{Plan: surgery.LocalOnly(m), Device: dev, Server: -1, Tasks: tasks}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var service float64
+	for _, rec := range res.Records {
+		service += rec.DeviceSec
+	}
+	want := float64(len(res.Records)) * dev.ModelTime(m)
+	if math.Abs(service-want) > 1e-6*want {
+		t.Errorf("summed device service %g, want %g", service, want)
+	}
+}
+
+// TestMMPPBurstSurvival floods a slow queue with an extreme MMPP burst and
+// checks nothing breaks (no panic, conservation of tasks, finite results).
+func TestMMPPBurstSurvival(t *testing.T) {
+	dev, _ := hardware.ByName("rpi4")
+	m := dnn.ResNet18()
+	tasks := workload.Spec{
+		User: 0, Rate: 30, Arrivals: workload.MMPP, BurstFactor: 10, Seed: 31,
+	}.Generate(20)
+	res, err := Run(Config{
+		Users: []UserConfig{{Plan: surgery.LocalOnly(m), Device: dev, Server: -1, Tasks: tasks}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != len(tasks) {
+		t.Fatalf("lost tasks: %d of %d", len(res.Records), len(tasks))
+	}
+	for _, rec := range res.Records {
+		if math.IsNaN(rec.Latency) || math.IsInf(rec.Latency, 0) || rec.Latency <= 0 {
+			t.Fatalf("degenerate latency %g", rec.Latency)
+		}
+	}
+}

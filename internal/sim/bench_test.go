@@ -1,0 +1,43 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineEvents measures raw event-loop throughput.
+func BenchmarkEngineEvents(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var eng Engine
+		var count int
+		var tick func()
+		tick = func() {
+			count++
+			if count < 10000 {
+				eng.After(0.001, tick)
+			}
+		}
+		eng.At(0, tick)
+		eng.Run()
+		if count != 10000 {
+			b.Fatal("event count")
+		}
+	}
+	b.ReportMetric(10000, "events/op")
+}
+
+// BenchmarkPSStationChurn measures processor-sharing reschedule cost under
+// steady arrivals.
+func BenchmarkPSStationChurn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var eng Engine
+		ps := NewPSStation(&eng, "ps")
+		for j := 0; j < 1000; j++ {
+			at := float64(j) * 0.01
+			eng.At(at, func() { ps.Submit(0.02, nil) })
+		}
+		eng.Run()
+		if ps.Served() != 1000 {
+			b.Fatal("jobs lost")
+		}
+	}
+}

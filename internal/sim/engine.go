@@ -1,0 +1,171 @@
+// Package sim is a deterministic discrete-event simulator for edge
+// inference pipelines. It executes the full task lifecycle — device
+// compute, uplink transfer over (possibly fading) links, server compute —
+// against FCFS or share-partitioned stations in virtual time, producing
+// per-task latency records. Virtual time is decoupled from wall-clock time,
+// so Go's garbage collector cannot perturb measured latencies (the
+// substitute for the paper's line-rate testbed measurements).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Engine is the virtual-time event loop. The zero value is ready to use.
+type Engine struct {
+	now  float64
+	seq  int64
+	pq   eventHeap
+	nRun int64
+}
+
+type event struct {
+	at  float64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn at absolute virtual time t (>= Now). Events scheduled for
+// the same instant run in scheduling order.
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: %g < %g", t, e.now))
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("sim: bad event time %g", t))
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d seconds from now.
+func (e *Engine) After(d float64, fn func()) { e.At(e.now+d, fn) }
+
+// Run executes events until the queue drains and returns the final time.
+func (e *Engine) Run() float64 { return e.RunUntil(math.Inf(1)) }
+
+// RunUntil executes events with time <= t and returns the current time.
+func (e *Engine) RunUntil(t float64) float64 {
+	for len(e.pq) > 0 && e.pq[0].at <= t {
+		ev := heap.Pop(&e.pq).(event)
+		e.now = ev.at
+		e.nRun++
+		ev.fn()
+	}
+	if t > e.now && !math.IsInf(t, 1) {
+		e.now = t
+	}
+	return e.now
+}
+
+// Executed returns the number of events processed (for tests and
+// instrumentation).
+func (e *Engine) Executed() int64 { return e.nRun }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Station is a FCFS single-server queue whose per-job service time may
+// depend on the job's start time (which is how time-varying link rates are
+// integrated exactly). A Station with share-partitioned capacity is modeled
+// as one dedicated Station per share-holder.
+type Station struct {
+	Name string
+	eng  *Engine
+	busy bool
+	q    []stationJob
+	head int
+
+	// Stats.
+	busyTime float64
+	served   int64
+}
+
+type stationJob struct {
+	submitted float64
+	dur       func(start float64) float64
+	done      func(start, finish float64)
+}
+
+// NewStation builds a station attached to the engine.
+func NewStation(eng *Engine, name string) *Station {
+	return &Station{Name: name, eng: eng}
+}
+
+// Submit enqueues a job whose duration is dur(startTime); done fires at
+// completion with the actual start and finish times.
+func (s *Station) Submit(dur func(start float64) float64, done func(start, finish float64)) {
+	s.q = append(s.q, stationJob{submitted: s.eng.Now(), dur: dur, done: done})
+	s.tryStart()
+}
+
+func (s *Station) tryStart() {
+	if s.busy || s.head == len(s.q) {
+		return
+	}
+	j := s.q[s.head]
+	s.q[s.head] = stationJob{} // release references
+	s.head++
+	if s.head > 64 && s.head*2 > len(s.q) {
+		s.q = append(s.q[:0], s.q[s.head:]...)
+		s.head = 0
+	}
+	s.busy = true
+	start := s.eng.Now()
+	d := j.dur(start)
+	if d < 0 || math.IsNaN(d) {
+		panic(fmt.Sprintf("sim: station %s: bad duration %g", s.Name, d))
+	}
+	finish := start + d
+	s.eng.At(finish, func() {
+		s.busy = false
+		s.busyTime += d
+		s.served++
+		if j.done != nil {
+			j.done(start, finish)
+		}
+		s.tryStart()
+	})
+}
+
+// QueueLen returns the number of waiting jobs (excluding the one in
+// service).
+func (s *Station) QueueLen() int { return len(s.q) - s.head }
+
+// Served returns the number of completed jobs.
+func (s *Station) Served() int64 { return s.served }
+
+// BusyTime returns the cumulative service time delivered.
+func (s *Station) BusyTime() float64 { return s.busyTime }
+
+// Utilization returns busy time divided by the horizon.
+func (s *Station) Utilization(horizon float64) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return s.busyTime / horizon
+}

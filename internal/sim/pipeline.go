@@ -1,0 +1,447 @@
+package sim
+
+import (
+	"fmt"
+
+	"edgesurgeon/internal/hardware"
+	"edgesurgeon/internal/netmodel"
+	"edgesurgeon/internal/stats"
+	"edgesurgeon/internal/surgery"
+	"edgesurgeon/internal/workload"
+)
+
+// Discipline selects how a server's capacity (and its uplink) is divided
+// among users.
+type Discipline int
+
+const (
+	// DedicatedShares gives each user a private lane at its allocated
+	// share of the capacity (the GPS idealization of weighted sharing).
+	DedicatedShares Discipline = iota
+	// SharedFCFS serializes all users' jobs through one full-speed queue
+	// (what a system with no resource allocation does).
+	SharedFCFS
+	// ProcessorSharing runs each server as an egalitarian
+	// processor-sharing fluid (all resident jobs progress at 1/n of
+	// capacity — a GPU time-slicer). The uplink remains a frame-serialized
+	// FCFS queue at full rate, as a WLAN is.
+	ProcessorSharing
+)
+
+// ServerConfig describes one edge server and its uplink.
+type ServerConfig struct {
+	Profile *hardware.Profile
+	Link    netmodel.Link
+}
+
+// UserConfig binds one user's plan, hardware, assignment and task stream.
+type UserConfig struct {
+	Plan   surgery.Plan
+	Device *hardware.Profile
+	// Server is the index of the assigned server, or -1 for none (the
+	// plan must then be fully local).
+	Server int
+	// ComputeShare and BandwidthShare are the user's allocated fractions
+	// (used under DedicatedShares).
+	ComputeShare, BandwidthShare float64
+	// Curves calibrates exit behaviour; zero value means DefaultCurves.
+	Curves surgery.ExitCurves
+	// TxFactor scales cross-partition bytes (activation compression);
+	// 0 means 1 (none).
+	TxFactor float64
+	// Tasks is the user's arrival-ordered request stream.
+	Tasks []workload.Task
+}
+
+// Config is a complete simulation scenario.
+type Config struct {
+	Servers    []ServerConfig
+	Users      []UserConfig
+	Discipline Discipline
+	// Horizon stops the simulation at this virtual time; tasks still in
+	// flight are dropped from the records. 0 means run to completion.
+	Horizon float64
+	// Warmup discards tasks arriving before this time from statistics.
+	Warmup float64
+}
+
+// TaskRecord is the per-task outcome.
+type TaskRecord struct {
+	User       int
+	Arrival    float64
+	Finish     float64
+	Latency    float64
+	Deadline   float64
+	Met        bool // deadline met (true when no deadline)
+	ExitCut    int  // backbone cut where the task exited
+	Crossed    bool // task crossed the partition boundary
+	Accuracy   float64
+	DeviceWait float64 // queueing before device compute
+	DeviceSec  float64 // device service time
+	TxWait     float64
+	TxSec      float64
+	ServerWait float64
+	ServerSec  float64
+	// EnergyJ is the device-side energy spent on this task (active compute
+	// plus radio airtime).
+	EnergyJ float64
+}
+
+// UserStats aggregates one user's outcomes.
+type UserStats struct {
+	Latency  stats.Series
+	Deadline stats.Meter
+	ExitHist map[int]int
+	Accuracy stats.Stream
+	Crossed  stats.Meter
+	Energy   stats.Stream
+}
+
+// Result is the full simulation outcome.
+type Result struct {
+	Records []TaskRecord
+	PerUser []*UserStats
+	Horizon float64
+	Events  int64
+	// ServerUtil[i] is server i's compute utilization over the horizon.
+	ServerUtil []float64
+}
+
+// Latencies returns the pooled latency series across all users.
+func (r *Result) Latencies() *stats.Series {
+	var s stats.Series
+	for i := range r.Records {
+		s.Add(r.Records[i].Latency)
+	}
+	return &s
+}
+
+// DeadlineRate returns the pooled deadline satisfaction rate.
+func (r *Result) DeadlineRate() float64 {
+	var m stats.Meter
+	for i := range r.Records {
+		if r.Records[i].Deadline > 0 {
+			m.Observe(r.Records[i].Met)
+		}
+	}
+	return m.Rate()
+}
+
+// MeanAccuracy returns the pooled expected-correctness mean.
+func (r *Result) MeanAccuracy() float64 {
+	var s stats.Stream
+	for i := range r.Records {
+		s.Add(r.Records[i].Accuracy)
+	}
+	return s.Mean()
+}
+
+// MeanDeviceEnergy returns the pooled per-task device energy in joules.
+func (r *Result) MeanDeviceEnergy() float64 {
+	var s stats.Stream
+	for i := range r.Records {
+		s.Add(r.Records[i].EnergyJ)
+	}
+	return s.Mean()
+}
+
+// exitChoice precomputes, for one plan, the per-exit deterministic service
+// demands so the hot loop allocates nothing per task.
+type exitChoice struct {
+	cut     int
+	tau     float64
+	devSec  float64 // device compute up to this exit (incl. heads on device)
+	srvSec  float64 // server compute at full capacity (incl. heads on server)
+	txBytes int64   // bytes crossing the partition (0 if exit before cut)
+	crossed bool
+	acc     float64
+}
+
+func compileChoices(u UserConfig) ([]exitChoice, error) {
+	p := u.Plan
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := p.Model
+	n := m.NumUnits()
+	curves := u.Curves
+	if curves == (surgery.ExitCurves{}) {
+		curves = surgery.DefaultCurves()
+	}
+	if p.Partition < n && u.Server < 0 {
+		return nil, fmt.Errorf("sim: user plan %v offloads but has no server", p)
+	}
+	cuts := p.AllExitCuts()
+	out := make([]exitChoice, len(cuts))
+	var cumDev float64
+	var txBytes int64
+	prevCut := 0
+	for i, cut := range cuts {
+		devEnd := cut
+		if devEnd > p.Partition {
+			devEnd = p.Partition
+		}
+		if devEnd > prevCut {
+			cumDev += u.Device.RangeTime(m, prevCut, devEnd)
+		}
+		x := surgery.DepthFrac(m, cut)
+		tau := 1.0
+		if cut < n {
+			tau = curves.Confidence(x, p.Theta)
+		}
+		out[i] = exitChoice{
+			cut:     cut,
+			tau:     tau,
+			crossed: cut > p.Partition,
+			acc:     curves.Accuracy(x),
+		}
+		if prevCut <= p.Partition && p.Partition < cut {
+			factor := u.TxFactor
+			if factor <= 0 {
+				factor = 1
+			}
+			txBytes = int64(float64(m.CutBytes(p.Partition)) * factor)
+		}
+		out[i].devSec = cumDev
+		if out[i].crossed {
+			out[i].txBytes = txBytes
+		}
+		prevCut = cut
+	}
+	return out, nil
+}
+
+// fillServerTimes completes the per-exit server demands with the assigned
+// server's profile.
+func fillServerTimes(u UserConfig, srv *hardware.Profile, choices []exitChoice) {
+	p := u.Plan
+	m := p.Model
+	n := m.NumUnits()
+	prevCut := 0
+	var cumDevHead, cumSrv float64
+	for i := range choices {
+		cut := choices[i].cut
+		srvStart := prevCut
+		if srvStart < p.Partition {
+			srvStart = p.Partition
+		}
+		if cut > srvStart && srv != nil {
+			cumSrv += srv.RangeTime(m, srvStart, cut)
+		}
+		if cut < n {
+			hf, _ := surgery.HeadCost(m, cut)
+			if cut <= p.Partition {
+				cumDevHead += u.Device.FLOPsTime(hf)
+			} else if srv != nil {
+				cumSrv += srv.FLOPsTime(hf)
+			}
+		}
+		choices[i].devSec += cumDevHead
+		choices[i].srvSec = cumSrv
+		prevCut = cut
+	}
+}
+
+// pickExit returns the first exit whose confidence power covers the task
+// difficulty (the final exit always does).
+func pickExit(choices []exitChoice, difficulty float64) *exitChoice {
+	for i := range choices {
+		if choices[i].tau >= difficulty {
+			return &choices[i]
+		}
+	}
+	return &choices[len(choices)-1]
+}
+
+// Run executes the scenario and returns per-task records and aggregates.
+func Run(cfg Config) (*Result, error) {
+	eng := &Engine{}
+
+	// Build stations.
+	type serverRT struct {
+		shared   *Station   // SharedFCFS compute
+		sharedTx *Station   // shared uplink (SharedFCFS and ProcessorSharing)
+		ps       *PSStation // ProcessorSharing compute
+	}
+	servers := make([]serverRT, len(cfg.Servers))
+	for i := range cfg.Servers {
+		switch cfg.Discipline {
+		case SharedFCFS:
+			servers[i].shared = NewStation(eng, fmt.Sprintf("srv%d", i))
+			servers[i].sharedTx = NewStation(eng, fmt.Sprintf("srv%d.uplink", i))
+		case ProcessorSharing:
+			servers[i].ps = NewPSStation(eng, fmt.Sprintf("srv%d", i))
+			servers[i].sharedTx = NewStation(eng, fmt.Sprintf("srv%d.uplink", i))
+		}
+	}
+
+	res := &Result{PerUser: make([]*UserStats, len(cfg.Users))}
+
+	type userRT struct {
+		choices []exitChoice
+		device  *Station
+		tx      *Station // dedicated lane (nil under SharedFCFS)
+		compute *Station // dedicated lane (nil under SharedFCFS)
+		link    netmodel.Link
+		cShare  float64
+		bShare  float64
+		server  int
+	}
+	users := make([]userRT, len(cfg.Users))
+	for ui := range cfg.Users {
+		u := cfg.Users[ui]
+		if u.Server >= len(cfg.Servers) {
+			return nil, fmt.Errorf("sim: user %d assigned to unknown server %d", ui, u.Server)
+		}
+		choices, err := compileChoices(u)
+		if err != nil {
+			return nil, fmt.Errorf("sim: user %d: %w", ui, err)
+		}
+		var srvProfile *hardware.Profile
+		if u.Server >= 0 {
+			srvProfile = cfg.Servers[u.Server].Profile
+		}
+		fillServerTimes(u, srvProfile, choices)
+
+		rt := userRT{choices: choices, server: u.Server, cShare: u.ComputeShare, bShare: u.BandwidthShare}
+		rt.device = NewStation(eng, fmt.Sprintf("u%d.dev", ui))
+		if u.Server >= 0 {
+			rt.link = cfg.Servers[u.Server].Link
+			if cfg.Discipline == DedicatedShares {
+				if u.ComputeShare <= 0 || u.BandwidthShare <= 0 {
+					return nil, fmt.Errorf("sim: user %d has non-positive shares under DedicatedShares", ui)
+				}
+				rt.tx = NewStation(eng, fmt.Sprintf("u%d.tx", ui))
+				rt.compute = NewStation(eng, fmt.Sprintf("u%d.srv", ui))
+			}
+		}
+		users[ui] = rt
+		res.PerUser[ui] = &UserStats{ExitHist: make(map[int]int)}
+	}
+
+	var records []TaskRecord
+
+	finishTask := func(ui int, task workload.Task, choice *exitChoice, finish float64, devWait, devSec, txWait, txSec, srvWait, srvSec float64) {
+		if task.Arrival < cfg.Warmup {
+			return
+		}
+		lat := finish - task.Arrival
+		dev := cfg.Users[ui].Device
+		rec := TaskRecord{
+			User: ui, Arrival: task.Arrival, Finish: finish, Latency: lat,
+			Deadline: task.Deadline, Met: task.Deadline <= 0 || lat <= task.Deadline,
+			ExitCut: choice.cut, Crossed: choice.crossed, Accuracy: choice.acc,
+			DeviceWait: devWait, DeviceSec: devSec,
+			TxWait: txWait, TxSec: txSec,
+			ServerWait: srvWait, ServerSec: srvSec,
+			EnergyJ: dev.ComputeEnergy(devSec) + dev.RadioEnergy(txSec),
+		}
+		records = append(records, rec)
+		us := res.PerUser[ui]
+		us.Latency.Add(lat)
+		if task.Deadline > 0 {
+			us.Deadline.Observe(rec.Met)
+		}
+		us.ExitHist[choice.cut]++
+		us.Accuracy.Add(choice.acc)
+		us.Crossed.Observe(choice.crossed)
+		us.Energy.Add(rec.EnergyJ)
+	}
+
+	for ui := range cfg.Users {
+		u := cfg.Users[ui]
+		rt := &users[ui]
+		for _, task := range u.Tasks {
+			task := task
+			choice := pickExit(rt.choices, task.Difficulty)
+			eng.At(task.Arrival, func() {
+				devDur := choice.devSec
+				rt.device.Submit(
+					func(float64) float64 { return devDur },
+					func(devStart, devFinish float64) {
+						devWait := devStart - task.Arrival
+						if !choice.crossed {
+							finishTask(ui, task, choice, devFinish, devWait, devDur, 0, 0, 0, 0)
+							return
+						}
+						// Uplink stage.
+						txStation := rt.tx
+						share := rt.bShare
+						if cfg.Discipline != DedicatedShares {
+							txStation = servers[rt.server].sharedTx
+							share = 1
+						}
+						bytes := choice.txBytes
+						link := rt.link
+						txStation.Submit(
+							func(start float64) float64 {
+								return netmodel.TransferTime(link, bytes, start, share)
+							},
+							func(txStart, txFinish float64) {
+								txWait := txStart - devFinish
+								txSec := txFinish - txStart
+								// Server stage.
+								serverDone := func(srvStart, srvFinish float64) {
+									srvWait := srvStart - txFinish
+									srvSec := srvFinish - srvStart
+									if srvWait < 0 {
+										// Processor sharing has no distinct
+										// waiting phase; all time is service.
+										srvWait = 0
+									}
+									finishTask(ui, task, choice, srvFinish,
+										devWait, devDur, txWait, txSec, srvWait, srvSec)
+								}
+								switch cfg.Discipline {
+								case DedicatedShares:
+									srvDur := choice.srvSec / rt.cShare
+									rt.compute.Submit(
+										func(float64) float64 { return srvDur },
+										serverDone)
+								case ProcessorSharing:
+									servers[rt.server].ps.Submit(choice.srvSec, serverDone)
+								default: // SharedFCFS
+									servers[rt.server].shared.Submit(
+										func(float64) float64 { return choice.srvSec },
+										serverDone)
+								}
+							})
+					})
+			})
+		}
+	}
+
+	horizon := cfg.Horizon
+	if horizon <= 0 {
+		eng.Run()
+		horizon = eng.Now()
+	} else {
+		eng.RunUntil(horizon)
+	}
+	res.Records = records
+	res.Horizon = horizon
+	res.Events = eng.Executed()
+
+	res.ServerUtil = make([]float64, len(cfg.Servers))
+	for si := range cfg.Servers {
+		var busy float64
+		switch cfg.Discipline {
+		case SharedFCFS:
+			busy = servers[si].shared.BusyTime()
+		case ProcessorSharing:
+			busy = servers[si].ps.BusyTime()
+		default:
+			for ui := range users {
+				if users[ui].server == si && users[ui].compute != nil {
+					// A dedicated lane at share f delivering t seconds of
+					// lane time consumes f*t of the server.
+					busy += users[ui].compute.BusyTime() * users[ui].cShare
+				}
+			}
+		}
+		if horizon > 0 {
+			res.ServerUtil[si] = busy / horizon
+		}
+	}
+	return res, nil
+}

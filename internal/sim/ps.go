@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// PSStation is an egalitarian processor-sharing server: all resident jobs
+// progress simultaneously, each at 1/n of the station's capacity. This is
+// the fluid model of a GPU time-slicer or a CFS-scheduled core, and the
+// third service discipline the pipeline supports (see ProcessorSharing).
+//
+// Service demands are expressed in seconds at full capacity. Completion
+// events are rescheduled on every arrival/departure via a generation
+// counter, so stale events are ignored rather than cancelled.
+type PSStation struct {
+	Name string
+	eng  *Engine
+
+	jobs       map[int64]*psJob
+	nextID     int64
+	lastUpdate float64
+	gen        int64
+
+	served   int64
+	busyTime float64
+}
+
+type psJob struct {
+	remaining float64 // seconds of service at full capacity
+	submitted float64
+	done      func(start, finish float64)
+}
+
+// NewPSStation builds a processor-sharing station on the engine.
+func NewPSStation(eng *Engine, name string) *PSStation {
+	return &PSStation{Name: name, eng: eng, jobs: make(map[int64]*psJob)}
+}
+
+// Submit adds a job with the given full-capacity service demand.
+func (s *PSStation) Submit(serviceSec float64, done func(start, finish float64)) {
+	if serviceSec < 0 || math.IsNaN(serviceSec) {
+		panic(fmt.Sprintf("sim: ps station %s: bad service %g", s.Name, serviceSec))
+	}
+	s.advance()
+	id := s.nextID
+	s.nextID++
+	s.jobs[id] = &psJob{remaining: serviceSec, submitted: s.eng.Now(), done: done}
+	s.reschedule()
+}
+
+// advance progresses all resident jobs to the current instant.
+func (s *PSStation) advance() {
+	now := s.eng.Now()
+	if n := len(s.jobs); n > 0 {
+		progress := (now - s.lastUpdate) / float64(n)
+		for _, j := range s.jobs {
+			j.remaining -= progress
+		}
+		s.busyTime += now - s.lastUpdate
+	}
+	s.lastUpdate = now
+}
+
+// reschedule plans the next completion.
+func (s *PSStation) reschedule() {
+	s.gen++
+	gen := s.gen
+	if len(s.jobs) == 0 {
+		return
+	}
+	min := math.Inf(1)
+	for _, j := range s.jobs {
+		if j.remaining < min {
+			min = j.remaining
+		}
+	}
+	if min < 0 {
+		min = 0
+	}
+	eta := min * float64(len(s.jobs))
+	s.eng.After(eta, func() {
+		if gen != s.gen {
+			return // superseded by a later arrival/departure
+		}
+		s.complete()
+	})
+}
+
+// complete finishes every job whose remaining service reached zero.
+func (s *PSStation) complete() {
+	s.advance()
+	now := s.eng.Now()
+	const eps = 1e-12
+	var finished []*psJob
+	for id, j := range s.jobs {
+		if j.remaining <= eps {
+			finished = append(finished, j)
+			delete(s.jobs, id)
+		}
+	}
+	s.reschedule()
+	for _, j := range finished {
+		s.served++
+		if j.done != nil {
+			j.done(j.submitted, now)
+		}
+	}
+}
+
+// InService returns the number of resident jobs.
+func (s *PSStation) InService() int { return len(s.jobs) }
+
+// Served returns the number of completed jobs.
+func (s *PSStation) Served() int64 { return s.served }
+
+// BusyTime returns the cumulative time the station was non-empty.
+func (s *PSStation) BusyTime() float64 {
+	// Account for the open interval since the last update.
+	if len(s.jobs) > 0 {
+		return s.busyTime + (s.eng.Now() - s.lastUpdate)
+	}
+	return s.busyTime
+}

@@ -1,0 +1,23 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkSeriesQuantile measures the lazy-sorted quantile path on a
+// simulation-sized series.
+func BenchmarkSeriesQuantile(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var s Series
+	for i := 0; i < 100_000; i++ {
+		s.Add(rng.NormFloat64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += s.Quantile(float64(i%100) / 100)
+	}
+	_ = sink
+}

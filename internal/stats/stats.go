@@ -1,0 +1,287 @@
+// Package stats provides the measurement plumbing shared by the simulator
+// and the experiment harness: streaming moments, empirical quantiles and
+// CDFs, histograms, deadline accounting, and per-component latency
+// breakdowns.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stream accumulates streaming moments using Welford's algorithm.
+type Stream struct {
+	n          int64
+	mean, m2   float64
+	min, max   float64
+	everyFirst bool
+}
+
+// Add records one observation.
+func (s *Stream) Add(x float64) {
+	s.n++
+	if !s.everyFirst {
+		s.min, s.max = x, x
+		s.everyFirst = true
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// Count returns the number of observations.
+func (s *Stream) Count() int64 { return s.n }
+
+// Mean returns the running mean (0 for an empty stream).
+func (s *Stream) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance.
+func (s *Stream) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Stream) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (0 for an empty stream).
+func (s *Stream) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 for an empty stream).
+func (s *Stream) Max() float64 { return s.max }
+
+// Series collects raw observations for exact quantiles and CDFs. Use for
+// simulation-scale data (up to a few million points).
+type Series struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Series) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// Count returns the number of observations.
+func (s *Series) Count() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean (0 if empty).
+func (s *Series) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+func (s *Series) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the q-th empirical quantile (nearest-rank with linear
+// interpolation), q in [0, 1]. Returns 0 if the series is empty.
+func (s *Series) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		s.ensureSorted()
+		return s.xs[0]
+	}
+	if q >= 1 {
+		s.ensureSorted()
+		return s.xs[len(s.xs)-1]
+	}
+	s.ensureSorted()
+	pos := q * float64(len(s.xs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := pos - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// P50 returns the median.
+func (s *Series) P50() float64 { return s.Quantile(0.50) }
+
+// P95 returns the 95th percentile.
+func (s *Series) P95() float64 { return s.Quantile(0.95) }
+
+// P99 returns the 99th percentile.
+func (s *Series) P99() float64 { return s.Quantile(0.99) }
+
+// Max returns the largest observation (0 if empty).
+func (s *Series) Max() float64 { return s.Quantile(1) }
+
+// Min returns the smallest observation (0 if empty).
+func (s *Series) Min() float64 { return s.Quantile(0) }
+
+// FracBelow returns the fraction of observations <= x.
+func (s *Series) FracBelow(x float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	i := sort.SearchFloat64s(s.xs, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(s.xs))
+}
+
+// CDF returns n evenly spaced (value, cumulative-fraction) points.
+func (s *Series) CDF(n int) [][2]float64 {
+	if len(s.xs) == 0 || n <= 0 {
+		return nil
+	}
+	s.ensureSorted()
+	out := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		q := float64(i) / float64(n-1)
+		if n == 1 {
+			q = 1
+		}
+		out = append(out, [2]float64{s.Quantile(q), q})
+	}
+	return out
+}
+
+// Histogram counts observations into fixed-width bins over [Lo, Hi); values
+// outside the range land in the saturating edge bins.
+type Histogram struct {
+	Lo, Hi float64
+	Bins   []int64
+	total  int64
+}
+
+// NewHistogram builds a histogram with n bins over [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if hi <= lo || n <= 0 {
+		panic(fmt.Sprintf("stats: bad histogram range [%g, %g) x%d", lo, hi, n))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Bins)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Bins) {
+		i = len(h.Bins) - 1
+	}
+	h.Bins[i]++
+	h.total++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Frac returns bin i's fraction of all observations.
+func (h *Histogram) Frac(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Bins[i]) / float64(h.total)
+}
+
+// Meter counts boolean outcomes (e.g. deadline met / missed).
+type Meter struct {
+	hits, total int64
+}
+
+// Observe records one outcome.
+func (m *Meter) Observe(hit bool) {
+	m.total++
+	if hit {
+		m.hits++
+	}
+}
+
+// Rate returns hits/total (1 when nothing was observed, matching the
+// convention that an empty deadline meter reports full satisfaction).
+func (m *Meter) Rate() float64 {
+	if m.total == 0 {
+		return 1
+	}
+	return float64(m.hits) / float64(m.total)
+}
+
+// Hits returns the number of positive outcomes.
+func (m *Meter) Hits() int64 { return m.hits }
+
+// Total returns the number of observations.
+func (m *Meter) Total() int64 { return m.total }
+
+// Breakdown accumulates per-component contributions to a total (e.g. device
+// compute / uplink / queueing / server compute shares of latency).
+type Breakdown struct {
+	Names  []string
+	totals []float64
+	n      int64
+}
+
+// NewBreakdown builds a breakdown over the named components.
+func NewBreakdown(names ...string) *Breakdown {
+	return &Breakdown{Names: names, totals: make([]float64, len(names))}
+}
+
+// Add records one observation of all components.
+func (b *Breakdown) Add(parts ...float64) {
+	if len(parts) != len(b.totals) {
+		panic(fmt.Sprintf("stats: breakdown got %d parts, want %d", len(parts), len(b.totals)))
+	}
+	for i, p := range parts {
+		b.totals[i] += p
+	}
+	b.n++
+}
+
+// Mean returns the mean contribution of component i.
+func (b *Breakdown) Mean(i int) float64 {
+	if b.n == 0 {
+		return 0
+	}
+	return b.totals[i] / float64(b.n)
+}
+
+// Share returns component i's fraction of the summed means.
+func (b *Breakdown) Share(i int) float64 {
+	var sum float64
+	for _, t := range b.totals {
+		sum += t
+	}
+	if sum == 0 {
+		return 0
+	}
+	return b.totals[i] / sum
+}
+
+// String renders the breakdown as "name=mean(share%)" pairs.
+func (b *Breakdown) String() string {
+	s := ""
+	for i, name := range b.Names {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%.4g(%.0f%%)", name, b.Mean(i), 100*b.Share(i))
+	}
+	return s
+}

@@ -1,0 +1,53 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatFloatRanges(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1234567: "1234567",
+		12.345:  "12.3",
+		0.01234: "0.01234",
+		-42.42:  "-42.4",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestTableMixedCellTypes(t *testing.T) {
+	tb := NewTable("mix", "a", "b", "c", "d")
+	tb.AddRow("s", 42, 3.5, true)
+	s := tb.String()
+	for _, want := range []string{"s", "42", "3.5", "true"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "short", "a-much-longer-header")
+	tb.AddRow("x", "y")
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d: %q", len(lines), lines)
+	}
+	// Header and separator must have equal width.
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("misaligned header/separator: %d vs %d", len(lines[0]), len(lines[1]))
+	}
+}
+
+func TestTableFloat32(t *testing.T) {
+	tb := NewTable("f32", "v")
+	tb.AddRow(float32(2.5))
+	if !strings.Contains(tb.String(), "2.5") {
+		t.Errorf("float32 not rendered: %s", tb.String())
+	}
+}

@@ -1,0 +1,64 @@
+package surgery_test
+
+import (
+	"fmt"
+
+	"edgesurgeon/internal/dnn"
+	"edgesurgeon/internal/hardware"
+	"edgesurgeon/internal/netmodel"
+	"edgesurgeon/internal/surgery"
+	"edgesurgeon/internal/workload"
+)
+
+// ExampleOptimize finds the latency-optimal surgery plan for a VGG16 user
+// on a Raspberry Pi next to a GPU edge server.
+func ExampleOptimize() {
+	dev, _ := hardware.ByName("rpi4")
+	srv, _ := hardware.ByName("edge-gpu-t4")
+	env := surgery.Env{
+		Device: dev, Server: srv,
+		ComputeShare: 1, UplinkBps: netmodel.Mbps(20), BandwidthShare: 1,
+		RTT: 0.004, Difficulty: workload.EasyBiased,
+	}
+	plan, ev, err := surgery.Optimize(dnn.VGG16(), env, surgery.Options{
+		FixedPartition: surgery.FreePartition,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("offloads:", plan.Partition < plan.Model.NumUnits())
+	fmt.Println("uses early exits:", len(plan.Exits) > 0)
+	fmt.Println("beats local:", ev.Latency < dev.ModelTime(plan.Model))
+	// Output:
+	// offloads: true
+	// uses early exits: true
+	// beats local: true
+}
+
+// ExampleEvaluate shows the exact latency decomposition the resource
+// allocator consumes.
+func ExampleEvaluate() {
+	dev, _ := hardware.ByName("rpi4")
+	srv, _ := hardware.ByName("edge-gpu-t4")
+	env := surgery.Env{
+		Device: dev, Server: srv,
+		ComputeShare: 0.5, UplinkBps: netmodel.Mbps(20), BandwidthShare: 0.5,
+		RTT: 0.004, Difficulty: workload.UniformDifficulty,
+	}
+	plan := surgery.Plan{Model: dnn.ResNet18(), Partition: 3}
+	ev, err := surgery.Evaluate(plan, env)
+	if err != nil {
+		panic(err)
+	}
+	reassembled := ev.FixedSec + ev.ServerSec/0.5 + ev.TxSec/0.5
+	fmt.Printf("decomposition exact: %v\n", abs(ev.Latency-reassembled) < 1e-12)
+	// Output:
+	// decomposition exact: true
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

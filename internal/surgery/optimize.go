@@ -1,0 +1,429 @@
+package surgery
+
+import (
+	"fmt"
+	"math"
+
+	"edgesurgeon/internal/dnn"
+	"edgesurgeon/internal/workload"
+)
+
+// Options controls the surgery optimizer.
+type Options struct {
+	// ThetaGrid lists the confidence thresholds to consider. Empty means
+	// DefaultThetaGrid.
+	ThetaGrid []float64
+	// MinAccuracy is the expected-accuracy floor a plan must satisfy
+	// (0 disables the constraint).
+	MinAccuracy float64
+	// AccBuckets quantizes the accuracy dimension of the constrained DP;
+	// 0 means 200. Rounding is downward, so accepted plans genuinely
+	// satisfy MinAccuracy.
+	AccBuckets int
+	// NoExits restricts surgery to pure partitioning (Neurosurgeon-style
+	// baseline behaviour).
+	NoExits bool
+	// FixedPartition pins the partition point; use FreePartition to let
+	// the optimizer sweep it.
+	FixedPartition int
+}
+
+// FreePartition lets Optimize sweep all partition points.
+const FreePartition = -1
+
+// DefaultThetaGrid is the threshold sweep used when Options.ThetaGrid is
+// empty. 0 is the most permissive (every exit fires for the easiest
+// inputs); values near 1 effectively disable early exits.
+func DefaultThetaGrid() []float64 {
+	return []float64{0, 0.1, 0.2, 0.3, 0.45, 0.6, 0.8}
+}
+
+// Optimize finds the minimum-expected-latency surgery plan for one user in
+// the given environment, subject to the accuracy floor. It sweeps partition
+// points and thresholds, and for each solves the exit-subset selection
+// exactly (up to accuracy quantization) as a resource-constrained shortest
+// path over the exit chain.
+func Optimize(m *dnn.Model, env Env, opt Options) (Plan, Eval, error) {
+	if err := env.Validate(); err != nil {
+		return Plan{}, Eval{}, err
+	}
+	n := m.NumUnits()
+
+	thetas := opt.ThetaGrid
+	if len(thetas) == 0 {
+		thetas = DefaultThetaGrid()
+	}
+	if opt.NoExits {
+		thetas = thetas[:1] // theta is irrelevant without exits
+	}
+
+	parts := partitionCandidates(m, env, opt)
+	if len(parts) == 0 {
+		return Plan{}, Eval{}, fmt.Errorf("surgery: no feasible partition for %s on %s (memory)", m.Name, env.Device.Name)
+	}
+
+	// Exit candidates strictly inside the backbone.
+	var cand []int
+	if !opt.NoExits {
+		for _, c := range m.ExitCandidates() {
+			if c < n {
+				cand = append(cand, c)
+			}
+		}
+	}
+
+	pre := newPrecomp(m, env, cand)
+
+	best := Plan{}
+	bestEval := Eval{Latency: math.Inf(1)}
+	found := false
+	for _, p := range parts {
+		for _, theta := range thetas {
+			exits, ok := pre.solveChain(p, theta, opt)
+			if !ok {
+				continue
+			}
+			plan := Plan{Model: m, Exits: exits, Theta: theta, Partition: p}
+			ev, err := Evaluate(plan, env)
+			if err != nil {
+				return Plan{}, Eval{}, err
+			}
+			if opt.MinAccuracy > 0 && ev.Accuracy+1e-12 < opt.MinAccuracy {
+				continue
+			}
+			if env.Rate > 0 && env.Rate*ev.DeviceSec > DeviceStabilityRho {
+				continue // device queue would be unstable at this rate
+			}
+			if ev.Latency < bestEval.Latency {
+				best, bestEval, found = plan, ev, true
+			}
+		}
+	}
+	if !found {
+		return Plan{}, Eval{}, fmt.Errorf("surgery: no plan meets accuracy %.3f (rate %.3g/s) for %s", opt.MinAccuracy, env.Rate, m.Name)
+	}
+	return best, bestEval, nil
+}
+
+// partitionCandidates returns the partition points consistent with device
+// and server memory and with the options.
+func partitionCandidates(m *dnn.Model, env Env, opt Options) []int {
+	n := m.NumUnits()
+	var out []int
+	lo, hi := 0, n
+	if opt.FixedPartition != FreePartition {
+		lo, hi = opt.FixedPartition, opt.FixedPartition
+	}
+	// Prefix parameter bytes for the device-side memory check.
+	prefixParams := make([]int64, n+1)
+	maxAct := make([]int64, n+1) // largest activation within units 1..k
+	maxAct[0] = m.InputBytes()
+	for i, u := range m.Units {
+		prefixParams[i+1] = prefixParams[i] + u.Params()*dnn.BytesPerElement
+		maxAct[i+1] = maxAct[i]
+		if b := u.OutBytes(); b > maxAct[i+1] {
+			maxAct[i+1] = b
+		}
+	}
+	for p := lo; p <= hi; p++ {
+		if p < 0 || p > n {
+			continue
+		}
+		if p > 0 {
+			need := prefixParams[p] + 2*maxAct[p]
+			if need > env.Device.MemBytes {
+				continue
+			}
+		}
+		if p < n && env.Server == nil {
+			continue
+		}
+		if p < n && env.Server != nil {
+			need := (prefixParams[n] - prefixParams[p]) + 2*m.MaxActivationBytes()
+			if need > env.Server.MemBytes {
+				continue
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// precomp caches per-model per-env quantities shared by all (p, theta)
+// subproblems, including reusable DP buffers so the sweep allocates only
+// on its first iteration.
+type precomp struct {
+	m    *dnn.Model
+	env  Env
+	cand []int // exit candidate cuts, ascending, < NumUnits
+
+	devPrefix []float64 // device time of units 1..k
+	srvPrefix []float64 // server time (share=1) of units 1..k
+	headDev   []float64 // device time of candidate i's head
+	headSrv   []float64 // server time of candidate i's head
+	depth     []float64 // depth fraction of candidate i
+	acc       []float64 // accuracy at candidate i
+
+	// Reusable buffers for solveChain.
+	tauBuf, fBuf, accBuf []float64
+	distBuf              []float64
+	prevBuf              []int
+	dpBuf, dpAccBuf      [][]float64
+	fromBuf              [][]int32
+}
+
+func newPrecomp(m *dnn.Model, env Env, cand []int) *precomp {
+	n := m.NumUnits()
+	pc := &precomp{m: m, env: env, cand: cand}
+	pc.devPrefix = make([]float64, n+1)
+	pc.srvPrefix = make([]float64, n+1)
+	for i, u := range m.Units {
+		pc.devPrefix[i+1] = pc.devPrefix[i] + env.Device.UnitTime(u)
+		if env.Server != nil {
+			pc.srvPrefix[i+1] = pc.srvPrefix[i] + env.Server.UnitTime(u)
+		}
+	}
+	pc.headDev = make([]float64, len(cand))
+	pc.headSrv = make([]float64, len(cand))
+	pc.depth = make([]float64, len(cand))
+	pc.acc = make([]float64, len(cand))
+	curves := env.curves()
+	for i, c := range cand {
+		hf, _ := HeadCost(m, c)
+		pc.headDev[i] = env.Device.FLOPsTime(hf)
+		if env.Server != nil {
+			pc.headSrv[i] = env.Server.FLOPsTime(hf)
+		}
+		pc.depth[i] = DepthFrac(m, c)
+		pc.acc[i] = curves.Accuracy(pc.depth[i])
+	}
+	return pc
+}
+
+// segTime returns the latency contribution of the backbone segment
+// (fromCut, toCut] plus the transfer if the segment crosses partition p,
+// at the environment's shares.
+func (pc *precomp) segTime(fromCut, toCut, p int) float64 {
+	f := envShare(pc.env.ComputeShare)
+	b := envShare(pc.env.BandwidthShare)
+	t := 0.0
+	devEnd := min(toCut, p)
+	if devEnd > fromCut {
+		t += pc.devPrefix[devEnd] - pc.devPrefix[fromCut]
+	}
+	srvStart := max(fromCut, p)
+	if toCut > srvStart {
+		t += (pc.srvPrefix[toCut] - pc.srvPrefix[srvStart]) / f
+	}
+	if fromCut <= p && p < toCut {
+		bits := float64(pc.m.CutBytes(p)) * 8 * pc.env.txFactor()
+		t += bits/(pc.env.UplinkBps*b) + pc.env.RTT
+	}
+	return t
+}
+
+// headTime returns the latency of candidate i's head under partition p at
+// the environment's shares.
+func (pc *precomp) headTime(i, p int) float64 {
+	if pc.cand[i] <= p {
+		return pc.headDev[i]
+	}
+	return pc.headSrv[i] / envShare(pc.env.ComputeShare)
+}
+
+// solveChain finds the optimal exit subset for fixed partition p and
+// threshold theta. Nodes are (virtual source, candidates..., final); the
+// expected latency decomposes over consecutive selected exits as
+// (1 - F(tau_i)) * T_seg(i, j), so subset selection is a shortest path,
+// with a quantized-accuracy dimension when MinAccuracy binds.
+func (pc *precomp) solveChain(p int, theta float64, opt Options) ([]int, bool) {
+	env := pc.env
+	curves := env.curves()
+	n := pc.m.NumUnits()
+	K := len(pc.cand)
+
+	// Node indexing: 0 = source (cut 0), 1..K = candidates, K+1 = final.
+	cut := func(i int) int {
+		switch {
+		case i == 0:
+			return 0
+		case i <= K:
+			return pc.cand[i-1]
+		default:
+			return n
+		}
+	}
+	if pc.tauBuf == nil {
+		pc.tauBuf = make([]float64, K+2)
+		pc.fBuf = make([]float64, K+2)
+		pc.accBuf = make([]float64, K+2)
+	}
+	tau := pc.tauBuf
+	F := pc.fBuf
+	accAt := pc.accBuf
+	for i := 0; i <= K+1; i++ {
+		switch {
+		case i == 0:
+			tau[i] = 0
+		case i <= K:
+			tau[i] = curves.Confidence(pc.depth[i-1], theta)
+		default:
+			tau[i] = 1
+		}
+		F[i] = workload.DifficultyCDF(env.Difficulty, tau[i])
+		if i == K+1 {
+			accAt[i] = curves.Accuracy(1)
+		} else if i > 0 {
+			accAt[i] = pc.acc[i-1]
+		}
+	}
+	latEdge := func(i, j int) float64 {
+		t := pc.segTime(cut(i), cut(j), p)
+		if j <= K {
+			t += pc.headTime(j-1, p)
+		}
+		return (1 - F[i]) * t
+	}
+	accEdge := func(i, j int) float64 {
+		d := F[j] - F[i]
+		if d < 0 {
+			d = 0
+		}
+		return d * accAt[j]
+	}
+
+	if opt.MinAccuracy <= 0 {
+		// Pure shortest path over the DAG.
+		const inf = math.MaxFloat64
+		if pc.distBuf == nil {
+			pc.distBuf = make([]float64, K+2)
+			pc.prevBuf = make([]int, K+2)
+		}
+		dist := pc.distBuf
+		prev := pc.prevBuf
+		dist[0] = 0
+		prev[0] = -1
+		for i := 1; i <= K+1; i++ {
+			dist[i] = inf
+			prev[i] = -1
+		}
+		for j := 1; j <= K+1; j++ {
+			for i := 0; i < j; i++ {
+				if dist[i] == inf {
+					continue
+				}
+				if d := dist[i] + latEdge(i, j); d < dist[j] {
+					dist[j] = d
+					prev[j] = i
+				}
+			}
+		}
+		return chainToExits(prev, K, cut), true
+	}
+
+	// Resource-constrained shortest path with a quantized accuracy index.
+	// Each DP cell carries the *exact* accumulated accuracy of its stored
+	// path; the bucket index only compresses the state space, so rounding
+	// error does not accumulate along paths. Ties within a bucket keep the
+	// lower-latency path (a bounded-error dominance rule; the caller
+	// re-verifies the final plan exactly).
+	buckets := opt.AccBuckets
+	if buckets <= 0 {
+		buckets = 400
+	}
+	delta := curves.Final / float64(buckets)
+	const inf = math.MaxFloat64
+	if pc.dpBuf == nil || len(pc.dpBuf[0]) != buckets+1 {
+		pc.dpBuf = make([][]float64, K+2)
+		pc.dpAccBuf = make([][]float64, K+2)
+		pc.fromBuf = make([][]int32, K+2)
+		for i := 0; i <= K+1; i++ {
+			pc.dpBuf[i] = make([]float64, buckets+1)
+			pc.dpAccBuf[i] = make([]float64, buckets+1)
+			pc.fromBuf[i] = make([]int32, buckets+1)
+		}
+	}
+	dp := pc.dpBuf     // min latency
+	acc := pc.dpAccBuf // exact accuracy of the stored path
+	from := pc.fromBuf // packed predecessor (node, bucket)
+	for i := range dp {
+		for q := range dp[i] {
+			dp[i][q] = inf
+			acc[i][q] = 0
+			from[i][q] = -1
+		}
+	}
+	dp[0][0] = 0
+	for j := 1; j <= K+1; j++ {
+		for i := 0; i < j; i++ {
+			le := latEdge(i, j)
+			ae := accEdge(i, j)
+			for q := 0; q <= buckets; q++ {
+				if dp[i][q] == inf {
+					continue
+				}
+				na := acc[i][q] + ae
+				nq := int(na / delta)
+				if nq > buckets {
+					nq = buckets
+				}
+				d := dp[i][q] + le
+				if d < dp[j][nq] || (d == dp[j][nq] && na > acc[j][nq]) {
+					dp[j][nq] = d
+					acc[j][nq] = na
+					from[j][nq] = int32(i)<<16 | int32(q)
+				}
+			}
+		}
+	}
+	bestQ, bestD := -1, inf
+	for q := 0; q <= buckets; q++ {
+		if dp[K+1][q] < inf && acc[K+1][q]+1e-12 >= opt.MinAccuracy && dp[K+1][q] < bestD {
+			bestD = dp[K+1][q]
+			bestQ = q
+		}
+	}
+	if bestQ < 0 {
+		return nil, false
+	}
+	// Reconstruct.
+	var exits []int
+	node, q := K+1, bestQ
+	for node != 0 {
+		f := from[node][q]
+		if f < 0 {
+			return nil, false
+		}
+		pnode, pq := int(f>>16), int(f&0xffff)
+		if pnode != 0 {
+			exits = append(exits, cut(pnode))
+		}
+		node, q = pnode, pq
+	}
+	reverseInts(exits)
+	return exits, true
+}
+
+// chainToExits walks predecessor links from the final node back to the
+// source and returns the selected interior exit cuts in ascending order.
+func chainToExits(prev []int, K int, cut func(int) int) []int {
+	var exits []int
+	for node := K + 1; node != 0; {
+		p := prev[node]
+		if p > 0 {
+			exits = append(exits, cut(p))
+		}
+		if p < 0 {
+			break
+		}
+		node = p
+	}
+	reverseInts(exits)
+	return exits
+}
+
+func reverseInts(s []int) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}

@@ -1,0 +1,15 @@
+package workload
+
+import "testing"
+
+// BenchmarkPoissonGenerate measures request-stream generation throughput.
+func BenchmarkPoissonGenerate(b *testing.B) {
+	spec := Spec{User: 0, Rate: 100, Arrivals: Poisson, Difficulty: EasyBiased, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tasks := spec.Generate(100)
+		if len(tasks) < 9000 {
+			b.Fatal("too few tasks")
+		}
+	}
+}
