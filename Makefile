@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench experiments examples cover clean
+.PHONY: all build vet test test-short test-race bench experiments examples cover clean
 
 all: build vet test
 
@@ -12,11 +12,16 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+test: vet
 	$(GO) test ./...
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-check the concurrent planner paths (parallel surgery fan-out,
+# shared memoization cache, candidate-move evaluation).
+test-race:
+	$(GO) test -race ./internal/joint/... ./internal/surgery/...
 
 # One benchmark per evaluation artifact (E1-E19) plus kernel microbenchmarks.
 bench:

@@ -13,6 +13,7 @@
 package edgesurgeon
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -189,6 +190,43 @@ func BenchmarkAllocDeadlineAware(b *testing.B) {
 func BenchmarkJointPlan(b *testing.B) {
 	sc := benchScenario(b, 16)
 	planner := &joint.Planner{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := planner.Plan(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJointPlanParallel sweeps the planner's worker-pool size at two
+// population scales. Plans are byte-identical across workers (the planner's
+// determinism contract), so the sweep isolates pure wall-clock scaling; the
+// surgery memoization cache is active in all arms, as in production.
+func BenchmarkJointPlanParallel(b *testing.B) {
+	for _, users := range []int{32, 128} {
+		sc := benchScenario(b, users)
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("users=%d/workers=%d", users, workers), func(b *testing.B) {
+				planner := &joint.Planner{Opt: joint.Options{Parallelism: workers}}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := planner.Plan(sc); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkJointPlanUncached isolates what the surgery memoization saves:
+// the same 32-user scenario as BenchmarkJointPlanParallel with the cache
+// ablated at one worker.
+func BenchmarkJointPlanUncached(b *testing.B) {
+	sc := benchScenario(b, 32)
+	planner := &joint.Planner{Opt: joint.Options{Parallelism: 1, DisableSurgeryCache: true}}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

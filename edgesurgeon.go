@@ -68,9 +68,17 @@ type (
 	Decision = joint.Decision
 	// Strategy is anything that can plan a Scenario.
 	Strategy = joint.Strategy
-	// PlannerOptions tunes the joint planner.
+	// PlannerOptions tunes the joint planner. Parallelism bounds the
+	// worker pool the planner fans per-user surgery across (<= 0 means
+	// GOMAXPROCS); plans are byte-identical at every parallelism level.
 	PlannerOptions = joint.Options
 )
+
+// ShareQuantum is the resolution of the planner's share-quantization grid:
+// surgery environments are snapped to multiples of 1/ShareQuantum, which
+// makes the planner's surgery memoization exact (a cache hit returns
+// precisely what recomputation would).
+const ShareQuantum = joint.ShareQuantum
 
 // Model and hardware types.
 type (

@@ -187,6 +187,21 @@ func sqrtSplit(work, weight, lower []float64, budget float64) []float64 {
 // resource independently.
 func MinSumLatency(demands []Demand) Allocation {
 	n := len(demands)
+	if n == 1 {
+		// Fast path: a lone user takes each whole resource it uses. Shares
+		// match the general water-filling exactly (zero-work resources
+		// collapse to the epsilon lower bound, as sqrtSplit's clamping
+		// would produce).
+		d := demands[0]
+		a := Allocation{Compute: []float64{minShareEps}, Bandwidth: []float64{minShareEps}, Feasible: true}
+		if d.Server > 0 {
+			a.Compute[0] = 1
+		}
+		if d.Tx > 0 {
+			a.Bandwidth[0] = 1
+		}
+		return a
+	}
 	v := make([]float64, n)
 	w := make([]float64, n)
 	wt := make([]float64, n)
@@ -258,6 +273,35 @@ func minShares(d Demand) (fmin, bmin float64, err error) {
 // Feasible == false so callers can trigger reassignment.
 func DeadlineAware(demands []Demand) Allocation {
 	n := len(demands)
+	if n == 1 {
+		// Fast path mirroring the general machinery for a single user: the
+		// user takes the whole of each resource it uses; a zero-work
+		// resource collapses to its lower bound; bounds above unit
+		// capacity are scaled to 1 and flagged infeasible — exactly what
+		// minShares + scaling + sqrtSplit compute for n == 1.
+		d := demands[0]
+		f, b, err := minShares(d)
+		feasible := err == nil
+		if err != nil {
+			dd := d
+			dd.Deadline = 0
+			f, b, _ = minShares(dd)
+		}
+		if f > 1 {
+			f, feasible = 1, false
+		}
+		if b > 1 {
+			b, feasible = 1, false
+		}
+		cf, cb := f, b
+		if d.Server > 0 {
+			cf = 1
+		}
+		if d.Tx > 0 {
+			cb = 1
+		}
+		return Allocation{Compute: []float64{cf}, Bandwidth: []float64{cb}, Feasible: feasible}
+	}
 	v := make([]float64, n)
 	w := make([]float64, n)
 	wt := make([]float64, n)

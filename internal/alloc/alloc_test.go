@@ -283,3 +283,71 @@ func TestAllocationsAlwaysFeasibleProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// generalSqrtSplitSingle reproduces the pre-fast-path water-filling for one
+// demand, so the single-user fast paths can be checked against the exact
+// shares the general machinery computes.
+func generalSqrtSplitSingle(work, weight, lower float64) float64 {
+	return sqrtSplit([]float64{work}, []float64{weight}, []float64{lower}, 1)[0]
+}
+
+// TestSingleDemandFastPathsMatchGeneral verifies the n == 1 fast paths in
+// MinSumLatency and DeadlineAware emit exactly the shares the general
+// water-filling would, across the structural cases (both resources used,
+// zero-work resources, binding stability bounds, unmeetable deadlines).
+func TestSingleDemandFastPathsMatchGeneral(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Demand
+	}{
+		{"both-resources", Demand{Fixed: 0.01, Server: 0.02, Tx: 0.005, Deadline: 0.2, Rate: 2}},
+		{"no-server-work", Demand{Fixed: 0.01, Server: 0, Tx: 0.005, Deadline: 0.2, Rate: 2}},
+		{"no-tx-work", Demand{Fixed: 0.01, Server: 0.02, Tx: 0, Deadline: 0.2, Rate: 2}},
+		{"no-work-at-all", Demand{Fixed: 0.01}},
+		{"stability-bound", Demand{Fixed: 0.001, Server: 0.05, Tx: 0.01, Rate: 10}},
+		{"deadline-unmeetable", Demand{Fixed: 0.5, Server: 0.02, Tx: 0.01, Deadline: 0.1, Rate: 1}},
+		{"bounds-exceed-capacity", Demand{Fixed: 0.001, Server: 0.2, Tx: 0.01, Deadline: 0.21, Rate: 5}},
+		{"weighted", Demand{Fixed: 0.01, Server: 0.02, Tx: 0.005, Weight: 3, Deadline: 0.3, Rate: 1}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// MinSumLatency: general path uses the epsilon lower bound.
+			got := MinSumLatency([]Demand{c.d})
+			wantF := generalSqrtSplitSingle(c.d.Server, c.d.weight(), minShareEps)
+			wantB := generalSqrtSplitSingle(c.d.Tx, c.d.weight(), minShareEps)
+			if got.Compute[0] != wantF || got.Bandwidth[0] != wantB {
+				t.Errorf("MinSumLatency fast path (%g, %g) != general (%g, %g)",
+					got.Compute[0], got.Bandwidth[0], wantF, wantB)
+			}
+			if !got.Feasible {
+				t.Error("MinSumLatency single user must be feasible")
+			}
+
+			// DeadlineAware: general path derives lower bounds from
+			// minShares, scales them into capacity, then water-fills.
+			got = DeadlineAware([]Demand{c.d})
+			f, b, err := minShares(c.d)
+			wantFeasible := err == nil
+			if err != nil {
+				dd := c.d
+				dd.Deadline = 0
+				f, b, _ = minShares(dd)
+			}
+			if f > 1 {
+				f, wantFeasible = 1, false
+			}
+			if b > 1 {
+				b, wantFeasible = 1, false
+			}
+			wantF = generalSqrtSplitSingle(c.d.Server, c.d.weight(), f)
+			wantB = generalSqrtSplitSingle(c.d.Tx, c.d.weight(), b)
+			if got.Compute[0] != wantF || got.Bandwidth[0] != wantB {
+				t.Errorf("DeadlineAware fast path (%g, %g) != general (%g, %g)",
+					got.Compute[0], got.Bandwidth[0], wantF, wantB)
+			}
+			if got.Feasible != wantFeasible {
+				t.Errorf("DeadlineAware feasible = %v, want %v", got.Feasible, wantFeasible)
+			}
+		})
+	}
+}

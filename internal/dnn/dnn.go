@@ -15,6 +15,7 @@ package dnn
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // BytesPerElement is the size of one activation or weight element. All
@@ -326,7 +327,14 @@ type Model struct {
 	Classes int
 	Units   []*Unit
 
-	prefixFLOPs []int64 // prefixFLOPs[i] = FLOPs of units [0, i)
+	// Derived read-only caches, built once on first use. Guarded by a
+	// sync.Once so concurrent planners may share one *Model; the unit
+	// chain itself must not be mutated after first use.
+	cacheOnce      sync.Once
+	prefixFLOPs    []int64 // prefixFLOPs[i] = FLOPs of units [0, i)
+	prefixParamB   []int64 // prefixParamB[i] = weight bytes of units [0, i)
+	maxActPrefix   []int64 // maxActPrefix[i] = max activation bytes through unit i
+	exitCandidates []int   // cut positions with ExitOK, ascending
 }
 
 // NumUnits returns the number of partitionable units.
@@ -352,9 +360,7 @@ func (m *Model) InputBytes() int64 { return m.Input.Bytes() }
 
 // PrefixFLOPs returns the FLOPs of the first k units.
 func (m *Model) PrefixFLOPs(k int) int64 {
-	if m.prefixFLOPs == nil {
-		m.buildPrefix()
-	}
+	m.ensureCaches()
 	return m.prefixFLOPs[k]
 }
 
@@ -363,11 +369,42 @@ func (m *Model) RangeFLOPs(i, j int) int64 {
 	return m.PrefixFLOPs(j) - m.PrefixFLOPs(i)
 }
 
-func (m *Model) buildPrefix() {
-	m.prefixFLOPs = make([]int64, len(m.Units)+1)
-	for i, u := range m.Units {
-		m.prefixFLOPs[i+1] = m.prefixFLOPs[i] + u.FLOPs()
-	}
+// PrefixParamBytes returns the serialized weight bytes of the first k units
+// (the device-resident model slice when the network is cut after unit k).
+func (m *Model) PrefixParamBytes(k int) int64 {
+	m.ensureCaches()
+	return m.prefixParamB[k]
+}
+
+// MaxActBytesThrough returns the largest activation produced at or before
+// cut k, including the input tensor (k == 0 returns InputBytes).
+func (m *Model) MaxActBytesThrough(k int) int64 {
+	m.ensureCaches()
+	return m.maxActPrefix[k]
+}
+
+// ensureCaches builds all derived read-only caches exactly once. It is safe
+// for concurrent use, which the parallel joint planner relies on when many
+// workers optimize users sharing one *Model.
+func (m *Model) ensureCaches() {
+	m.cacheOnce.Do(func() {
+		n := len(m.Units)
+		m.prefixFLOPs = make([]int64, n+1)
+		m.prefixParamB = make([]int64, n+1)
+		m.maxActPrefix = make([]int64, n+1)
+		m.maxActPrefix[0] = m.InputBytes()
+		for i, u := range m.Units {
+			m.prefixFLOPs[i+1] = m.prefixFLOPs[i] + u.FLOPs()
+			m.prefixParamB[i+1] = m.prefixParamB[i] + u.Params()*BytesPerElement
+			m.maxActPrefix[i+1] = m.maxActPrefix[i]
+			if b := u.OutBytes(); b > m.maxActPrefix[i+1] {
+				m.maxActPrefix[i+1] = b
+			}
+			if u.ExitOK {
+				m.exitCandidates = append(m.exitCandidates, i+1)
+			}
+		}
+	})
 }
 
 // CutBytes returns the bytes that must cross the network when the model is
@@ -383,25 +420,16 @@ func (m *Model) CutBytes(k int) int64 {
 // MaxActivationBytes returns the largest inter-unit activation, a proxy for
 // peak transfer cost across all cut points.
 func (m *Model) MaxActivationBytes() int64 {
-	max := m.InputBytes()
-	for _, u := range m.Units {
-		if b := u.OutBytes(); b > max {
-			max = b
-		}
-	}
-	return max
+	return m.MaxActBytesThrough(len(m.Units))
 }
 
 // ExitCandidates returns the unit indices (1-based cut positions: a value k
-// means "after unit k") at which an early exit may be attached.
+// means "after unit k") at which an early exit may be attached. The slice
+// is computed once, cached on the model, and shared across calls: callers
+// must treat it as read-only.
 func (m *Model) ExitCandidates() []int {
-	var out []int
-	for i, u := range m.Units {
-		if u.ExitOK {
-			out = append(out, i+1)
-		}
-	}
-	return out
+	m.ensureCaches()
+	return m.exitCandidates
 }
 
 // Validate checks chain shape consistency and returns a descriptive error

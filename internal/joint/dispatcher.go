@@ -67,6 +67,9 @@ func (d *Dispatcher) ObserveUplinks(ratesBps []float64) (*Plan, error) {
 		Iterations:  2,
 		PlannerName: d.planner.Name() + "+online",
 	}
+	if st.cache != nil {
+		d.plan.SurgeryCacheHits, d.plan.SurgeryCacheMisses = st.cache.counters()
+	}
 	return d.plan, nil
 }
 

@@ -1,0 +1,63 @@
+package joint
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelism resolves the effective worker count for the planner's
+// fan-out steps: Options.Parallelism when positive, else GOMAXPROCS.
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEachIndex runs fn(0..n-1) across at most `workers` goroutines and
+// returns the lowest-index error, matching what a sequential loop that
+// stops at the first failure would report. Every fn(i) must be independent
+// of every other (the planner snapshots shared state before fanning out);
+// with workers <= 1 the loop runs inline with early exit, making the
+// single-worker planner's control flow identical to the historical
+// sequential code.
+func forEachIndex(workers, n int, fn func(int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -33,6 +33,17 @@ type Options struct {
 	DisableProbe bool
 	// Allocator selects the allocation rule when allocation is enabled.
 	Allocator AllocatorKind
+	// Parallelism bounds the worker pool the planner fans per-user surgery
+	// optimizations and candidate-move probes across; <= 0 means
+	// GOMAXPROCS. Plans are byte-identical across parallelism levels: the
+	// fan-out snapshots its inputs first and reduces results in index
+	// order, and each per-user problem is a pure function of the snapshot.
+	Parallelism int
+	// DisableSurgeryCache turns off the per-Plan-call surgery memoization
+	// (the cache-ablation arm; also exercised by the equivalence tests).
+	// Caching never changes planner output because surgery always runs at
+	// quantized shares — see ShareQuantum.
+	DisableSurgeryCache bool
 }
 
 // AllocatorKind selects the per-server allocation rule.
@@ -130,14 +141,18 @@ func (p *Planner) Plan(sc *Scenario) (*Plan, error) {
 		prev = cur
 	}
 
-	return &Plan{
+	plan := &Plan{
 		Decisions:   bestDs,
 		Objective:   bestObj,
 		Feasible:    bestFeasible,
 		Iterations:  iters,
 		Trajectory:  traj,
 		PlannerName: p.Name(),
-	}, nil
+	}
+	if st.cache != nil {
+		plan.SurgeryCacheHits, plan.SurgeryCacheMisses = st.cache.counters()
+	}
+	return plan, nil
 }
 
 // PlanWithAssignment runs the alternating surgery/allocation refinement to
@@ -197,13 +212,17 @@ func PlanWithAssignment(sc *Scenario, opt Options, assign []int) (*Plan, error) 
 		}
 		prev = cur
 	}
-	return &Plan{
+	plan := &Plan{
 		Decisions:   bestDs,
 		Objective:   bestObj,
 		Feasible:    bestFeasible,
 		Iterations:  iters,
 		PlannerName: "joint-fixed-assignment",
-	}, nil
+	}
+	if st.cache != nil {
+		plan.SurgeryCacheHits, plan.SurgeryCacheMisses = st.cache.counters()
+	}
+	return plan, nil
 }
 
 // state carries the evolving decision set.
@@ -214,6 +233,10 @@ type state struct {
 	assigned [][]int // per server: user indices
 	feasible bool
 	uplink   []float64 // cached mean uplink rate per server
+
+	workers int           // resolved worker-pool size for fan-out steps
+	cache   *surgeryCache // per-Plan-call surgery memoization (nil if disabled)
+	envBuf  []surgery.Env // reusable per-user env snapshot for surgeryStep
 }
 
 func newState(sc *Scenario, opt Options) (*state, error) {
@@ -221,6 +244,10 @@ func newState(sc *Scenario, opt Options) (*state, error) {
 	st.ds = make([]Decision, len(sc.Users))
 	st.assigned = make([][]int, len(sc.Servers))
 	st.uplink = make([]float64, len(sc.Servers))
+	st.workers = opt.parallelism()
+	if !opt.DisableSurgeryCache {
+		st.cache = newSurgeryCache()
+	}
 	for s := range sc.Servers {
 		st.uplink[s] = sc.meanUplink(s)
 	}
@@ -308,8 +335,12 @@ func (st *state) env(ui int) surgery.Env {
 		if st.opt.DisableProbe {
 			probe = 0
 		}
-		env.ComputeShare = math.Max(orOne(d.ComputeShare), probe)
-		env.BandwidthShare = math.Max(orOne(d.BandwidthShare), probe)
+		// Shares are snapped to the fixed ShareQuantum grid before the
+		// optimizer sees them, so memoization (keyed on the quantized
+		// values) is exact rather than approximate: a cache hit returns
+		// precisely what recomputing would.
+		env.ComputeShare = quantizeShare(math.Max(orOne(d.ComputeShare), probe))
+		env.BandwidthShare = quantizeShare(math.Max(orOne(d.BandwidthShare), probe))
 		env.UplinkBps = st.uplink[d.Server]
 		env.RTT = srv.RTT
 	}
@@ -335,25 +366,56 @@ func (st *state) offloaders(s, except int) int {
 // surgeryStep re-optimizes every user's plan at the current shares.
 // Holding shares fixed, each user's latency can only decrease, so the
 // objective is monotone non-increasing across this step.
+//
+// All per-user environments are snapshotted before any plan is replaced, so
+// every user's optimization is a pure function of the pre-step state (the
+// offloader probe counts, in particular, see the step's inputs rather than
+// its partial outputs). That makes the fan-out order-free: the parallel
+// planner produces byte-identical plans to Parallelism == 1.
 func (st *state) surgeryStep() error {
-	for ui := range st.sc.Users {
-		u := &st.sc.Users[ui]
-		sopt := st.opt.Surgery
-		sopt.FixedPartition = surgery.FreePartition
-		if u.MinAccuracy > 0 {
-			sopt.MinAccuracy = u.MinAccuracy
-		}
-		if st.opt.DisableSurgery {
-			sopt.NoExits = true
-		}
-		env := st.env(ui)
-		plan, ev, err := surgery.Optimize(u.Model, env, sopt)
-		if err != nil {
-			return fmt.Errorf("joint: surgery for user %d (%s): %w", ui, u.Name, err)
-		}
-		st.ds[ui].Plan = plan
-		st.ds[ui].Eval = ev
+	n := len(st.sc.Users)
+	if st.envBuf == nil {
+		st.envBuf = make([]surgery.Env, n)
 	}
+	for ui := 0; ui < n; ui++ {
+		st.envBuf[ui] = st.env(ui)
+	}
+	return forEachIndex(st.workers, n, func(ui int) error {
+		return st.optimizeUser(ui, st.envBuf[ui])
+	})
+}
+
+// optimizeUser runs (or recalls) the surgery optimization for one user in
+// the given quantized environment and installs the result in st.ds[ui].
+// Safe for concurrent calls with distinct ui.
+func (st *state) optimizeUser(ui int, env surgery.Env) error {
+	u := &st.sc.Users[ui]
+	sopt := st.opt.Surgery
+	sopt.FixedPartition = surgery.FreePartition
+	if u.MinAccuracy > 0 {
+		sopt.MinAccuracy = u.MinAccuracy
+	}
+	if st.opt.DisableSurgery {
+		sopt.NoExits = true
+	}
+	var key surgeryKey
+	if st.cache != nil {
+		key = keyFor(u.Model, env, sopt)
+		if plan, ev, ok := st.cache.get(key); ok {
+			st.ds[ui].Plan = plan
+			st.ds[ui].Eval = ev
+			return nil
+		}
+	}
+	plan, ev, err := surgery.Optimize(u.Model, env, sopt)
+	if err != nil {
+		return fmt.Errorf("joint: surgery for user %d (%s): %w", ui, u.Name, err)
+	}
+	if st.cache != nil {
+		st.cache.put(key, plan, ev)
+	}
+	st.ds[ui].Plan = plan
+	st.ds[ui].Eval = ev
 	return nil
 }
 
@@ -417,63 +479,100 @@ func (st *state) allocStep() {
 }
 
 // reassignStep greedily migrates users between servers when the move
-// strictly improves the objective. Each accepted move re-runs surgery for
-// the moved user and allocation for the two touched servers, so the
-// objective comparison is exact.
+// strictly improves the objective. Each candidate move re-runs surgery for
+// the moved user and allocation for the two touched servers on a private
+// scratch copy of the decision state, so candidates are independent and are
+// evaluated concurrently across the worker pool. Acceptance is index
+// ordered — the first improving target server wins — which reproduces the
+// sequential first-improvement greedy exactly, including which error (if
+// any) is surfaced: an error at target k is reported only when no earlier
+// target already improved, just as the sequential scan would.
 func (st *state) reassignStep() error {
-	type snapshot struct {
-		ds       []Decision
-		assigned [][]int
+	type candidate struct {
+		scratch *state
+		obj     float64
+		err     error
 	}
-	save := func() snapshot {
-		s := snapshot{ds: append([]Decision(nil), st.ds...), assigned: make([][]int, len(st.assigned))}
-		for i := range st.assigned {
-			s.assigned[i] = append([]int(nil), st.assigned[i]...)
+	evalCand := func(ui, from, to int) candidate {
+		c := st.scratchClone()
+		c.moveUser(ui, from, to)
+		// Cheap local refresh: surgery for the moved user at its new
+		// equalized share, allocation on both touched servers.
+		if err := c.refreshUser(ui); err != nil {
+			return candidate{err: err}
 		}
-		return s
+		c.allocServer(from)
+		c.allocServer(to)
+		if err := c.refreshUser(ui); err != nil {
+			return candidate{err: err}
+		}
+		return candidate{scratch: c, obj: objective(c.sc, c.ds)}
 	}
-	restore := func(s snapshot) {
-		st.ds = s.ds
-		st.assigned = s.assigned
-	}
-
+	targets := make([]int, 0, len(st.sc.Servers))
 	for ui := range st.sc.Users {
 		from := st.ds[ui].Server
 		if from < 0 {
 			continue
 		}
 		base := objective(st.sc, st.ds)
-		snap := save()
-		improved := false
+		targets = targets[:0]
 		for to := range st.sc.Servers {
-			if to == from {
-				continue
+			if to != from {
+				targets = append(targets, to)
 			}
-			st.moveUser(ui, from, to)
-			// Cheap local refresh: surgery for the moved user at its new
-			// equalized share, allocation on both touched servers.
-			if err := st.refreshUser(ui); err != nil {
-				restore(snap)
-				return err
+		}
+		var cands []candidate
+		if st.workers <= 1 || len(targets) <= 1 {
+			// Lazy first-improvement scan: stop at the first winner so the
+			// single-worker planner does no more surgery than it must.
+			for _, to := range targets {
+				c := evalCand(ui, from, to)
+				cands = append(cands, c)
+				if c.err != nil || c.obj < base*(1-1e-9) {
+					break
+				}
 			}
-			st.allocServer(from)
-			st.allocServer(to)
-			if err := st.refreshUser(ui); err != nil {
-				restore(snap)
-				return err
+		} else {
+			cands = make([]candidate, len(targets))
+			_ = forEachIndex(st.workers, len(targets), func(k int) error {
+				cands[k] = evalCand(ui, from, targets[k])
+				return nil
+			})
+		}
+		for k := range cands {
+			if cands[k].err != nil {
+				return cands[k].err
 			}
-			if cur := objective(st.sc, st.ds); cur < base*(1-1e-9) {
-				improved = true
+			if cands[k].obj < base*(1-1e-9) {
+				st.ds = cands[k].scratch.ds
+				st.assigned = cands[k].scratch.assigned
 				break
 			}
-			restore(snap)
-			snap = save()
-		}
-		if !improved {
-			restore(snap)
 		}
 	}
 	return nil
+}
+
+// scratchClone returns a state sharing the scenario, options, uplink cache
+// and surgery cache with st, but owning private copies of the decision set
+// and assignment lists — the mutable parts a candidate-move evaluation
+// touches. Scratch clones run their inner steps with workers == 1: the
+// parallelism lives one level up, across candidates.
+func (st *state) scratchClone() *state {
+	c := &state{
+		sc:       st.sc,
+		opt:      st.opt,
+		ds:       append([]Decision(nil), st.ds...),
+		assigned: make([][]int, len(st.assigned)),
+		feasible: st.feasible,
+		uplink:   st.uplink,
+		workers:  1,
+		cache:    st.cache,
+	}
+	for i := range st.assigned {
+		c.assigned[i] = append([]int(nil), st.assigned[i]...)
+	}
+	return c
 }
 
 func (st *state) moveUser(ui, from, to int) {
@@ -493,22 +592,7 @@ func (st *state) moveUser(ui, from, to int) {
 
 // refreshUser re-runs surgery for a single user at current shares.
 func (st *state) refreshUser(ui int) error {
-	u := &st.sc.Users[ui]
-	sopt := st.opt.Surgery
-	sopt.FixedPartition = surgery.FreePartition
-	if u.MinAccuracy > 0 {
-		sopt.MinAccuracy = u.MinAccuracy
-	}
-	if st.opt.DisableSurgery {
-		sopt.NoExits = true
-	}
-	plan, ev, err := surgery.Optimize(u.Model, st.env(ui), sopt)
-	if err != nil {
-		return fmt.Errorf("joint: surgery for user %d (%s): %w", ui, u.Name, err)
-	}
-	st.ds[ui].Plan = plan
-	st.ds[ui].Eval = ev
-	return nil
+	return st.optimizeUser(ui, st.env(ui))
 }
 
 // allocServer re-allocates one server in isolation.

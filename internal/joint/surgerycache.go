@@ -1,0 +1,126 @@
+package joint
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"edgesurgeon/internal/dnn"
+	"edgesurgeon/internal/hardware"
+	"edgesurgeon/internal/surgery"
+	"edgesurgeon/internal/workload"
+)
+
+// ShareQuantum is the resolution of the share-quantization grid applied to
+// every surgery environment before optimization: compute and bandwidth
+// shares are rounded to the nearest multiple of 1/ShareQuantum (floored at
+// one quantum) both when calling surgery.Optimize and when forming cache
+// keys. Because the planner always optimizes at the quantized shares —
+// cache hit or miss — memoization can never change a plan, only skip
+// recomputing it; the quantization itself perturbs plan *selection* by at
+// most the latency difference a half-quantum share shift induces (see
+// DESIGN.md, "Planner concurrency and memoization").
+const ShareQuantum = 4096
+
+// quantizeShare rounds a share to the planner's fixed grid, clamped to
+// [1/ShareQuantum, 1]. Non-positive shares (device-only environments) stay
+// zero.
+func quantizeShare(s float64) float64 {
+	if s <= 0 {
+		return 0
+	}
+	q := math.Round(s * ShareQuantum)
+	if q < 1 {
+		q = 1
+	}
+	if q > ShareQuantum {
+		q = ShareQuantum
+	}
+	return q / ShareQuantum
+}
+
+// surgeryKey identifies one memoizable surgery problem within a single
+// planner invocation. Scenario-wide constants (exit curves, theta grid,
+// accuracy buckets) are deliberately excluded: the cache never outlives the
+// Plan call that created it, so they cannot vary across entries.
+type surgeryKey struct {
+	model      *dnn.Model
+	device     *hardware.Profile
+	server     *hardware.Profile // nil when no server is reachable
+	uplinkBps  float64
+	rtt        float64
+	qf, qb     uint16 // quantized compute/bandwidth share, in quanta
+	rate       float64
+	minAcc     float64
+	txFactor   float64
+	difficulty workload.DifficultyKind
+	noExits    bool
+}
+
+// keyFor derives the cache key of an already-quantized environment.
+func keyFor(m *dnn.Model, env surgery.Env, sopt surgery.Options) surgeryKey {
+	return surgeryKey{
+		model:      m,
+		device:     env.Device,
+		server:     env.Server,
+		uplinkBps:  env.UplinkBps,
+		rtt:        env.RTT,
+		qf:         uint16(math.Round(env.ComputeShare * ShareQuantum)),
+		qb:         uint16(math.Round(env.BandwidthShare * ShareQuantum)),
+		rate:       env.Rate,
+		minAcc:     sopt.MinAccuracy,
+		txFactor:   env.TxFactor,
+		difficulty: env.Difficulty,
+		noExits:    sopt.NoExits,
+	}
+}
+
+// surgeryEntry is a memoized optimizer result. Plan/Eval carry shared
+// slices (Exits, ExitProbs); consumers treat them as read-only.
+type surgeryEntry struct {
+	plan surgery.Plan
+	eval surgery.Eval
+}
+
+// surgeryCache memoizes surgery.Optimize results for one planner
+// invocation. It is safe for concurrent use by the parallel surgery and
+// reassignment steps. Because the planner optimizes at quantized shares
+// unconditionally, a hit returns exactly what the miss path would compute,
+// so cache behaviour (including racy double-misses under parallelism)
+// never changes planner output — it only changes the hit/miss counters.
+type surgeryCache struct {
+	mu      sync.Mutex
+	entries map[surgeryKey]surgeryEntry
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+func newSurgeryCache() *surgeryCache {
+	return &surgeryCache{entries: make(map[surgeryKey]surgeryEntry)}
+}
+
+func (c *surgeryCache) get(k surgeryKey) (surgery.Plan, surgery.Eval, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[k]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+		return e.plan, e.eval, true
+	}
+	c.misses.Add(1)
+	return surgery.Plan{}, surgery.Eval{}, false
+}
+
+func (c *surgeryCache) put(k surgeryKey, plan surgery.Plan, eval surgery.Eval) {
+	c.mu.Lock()
+	c.entries[k] = surgeryEntry{plan: plan, eval: eval}
+	c.mu.Unlock()
+}
+
+// counters returns the accumulated (hits, misses). Under parallelism > 1
+// two workers may race to a first lookup of the same key and both miss, so
+// the split is approximate there; hits+misses always equals the number of
+// surgery optimizations requested.
+func (c *surgeryCache) counters() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

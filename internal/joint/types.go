@@ -164,6 +164,13 @@ type Plan struct {
 	Trajectory []float64
 	// PlannerName identifies the strategy that produced the plan.
 	PlannerName string
+	// SurgeryCacheHits and SurgeryCacheMisses count how many per-user
+	// surgery optimizations were recalled from the planner's memoization
+	// cache versus computed, across the whole planning run (both zero for
+	// strategies without a cache). Hits + misses is exact; the split is
+	// approximate under Parallelism > 1, where concurrent first lookups of
+	// one key may each count a miss.
+	SurgeryCacheHits, SurgeryCacheMisses int64
 }
 
 // Strategy is anything that can plan a scenario: the joint planner and

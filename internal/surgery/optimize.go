@@ -31,11 +31,16 @@ type Options struct {
 // FreePartition lets Optimize sweep all partition points.
 const FreePartition = -1
 
+// defaultThetaGrid is allocated once; DefaultThetaGrid hands out the shared
+// slice so the optimizer's inner loops never re-allocate it.
+var defaultThetaGrid = []float64{0, 0.1, 0.2, 0.3, 0.45, 0.6, 0.8}
+
 // DefaultThetaGrid is the threshold sweep used when Options.ThetaGrid is
 // empty. 0 is the most permissive (every exit fires for the easiest
-// inputs); values near 1 effectively disable early exits.
+// inputs); values near 1 effectively disable early exits. The returned
+// slice is shared and immutable: callers must not modify it.
 func DefaultThetaGrid() []float64 {
-	return []float64{0, 0.1, 0.2, 0.3, 0.45, 0.6, 0.8}
+	return defaultThetaGrid
 }
 
 // Optimize finds the minimum-expected-latency surgery plan for one user in
@@ -62,20 +67,26 @@ func Optimize(m *dnn.Model, env Env, opt Options) (Plan, Eval, error) {
 		return Plan{}, Eval{}, fmt.Errorf("surgery: no feasible partition for %s on %s (memory)", m.Name, env.Device.Name)
 	}
 
-	// Exit candidates strictly inside the backbone.
+	// Exit candidates strictly inside the backbone. ExitCandidates is
+	// cached on the model and ascending, so the interior candidates are a
+	// prefix — reuse it without allocating.
 	var cand []int
 	if !opt.NoExits {
-		for _, c := range m.ExitCandidates() {
-			if c < n {
-				cand = append(cand, c)
-			}
+		cand = m.ExitCandidates()
+		for len(cand) > 0 && cand[len(cand)-1] >= n {
+			cand = cand[:len(cand)-1]
 		}
 	}
 
 	pre := newPrecomp(m, env, cand)
 
+	// best.Exits and bestEval.ExitProbs are copied into dedicated buffers
+	// on improvement; the per-(p, theta) slices returned by solveChain and
+	// evaluateInto alias reusable precomp storage.
 	best := Plan{}
 	bestEval := Eval{Latency: math.Inf(1)}
+	var bestExits []int
+	var bestProbs []float64
 	found := false
 	for _, p := range parts {
 		for _, theta := range thetas {
@@ -84,10 +95,8 @@ func Optimize(m *dnn.Model, env Env, opt Options) (Plan, Eval, error) {
 				continue
 			}
 			plan := Plan{Model: m, Exits: exits, Theta: theta, Partition: p}
-			ev, err := Evaluate(plan, env)
-			if err != nil {
-				return Plan{}, Eval{}, err
-			}
+			ev := evaluateInto(plan, env, pre.probsBuf[:0])
+			pre.probsBuf = ev.ExitProbs[:0]
 			if opt.MinAccuracy > 0 && ev.Accuracy+1e-12 < opt.MinAccuracy {
 				continue
 			}
@@ -95,12 +104,19 @@ func Optimize(m *dnn.Model, env Env, opt Options) (Plan, Eval, error) {
 				continue // device queue would be unstable at this rate
 			}
 			if ev.Latency < bestEval.Latency {
+				bestExits = append(bestExits[:0], exits...)
+				bestProbs = append(bestProbs[:0], ev.ExitProbs...)
+				plan.Exits = bestExits
+				ev.ExitProbs = bestProbs
 				best, bestEval, found = plan, ev, true
 			}
 		}
 	}
 	if !found {
 		return Plan{}, Eval{}, fmt.Errorf("surgery: no plan meets accuracy %.3f (rate %.3g/s) for %s", opt.MinAccuracy, env.Rate, m.Name)
+	}
+	if len(best.Exits) == 0 {
+		best.Exits = nil // normalize: exitless plans carry nil, not empty
 	}
 	return best, bestEval, nil
 }
@@ -114,23 +130,14 @@ func partitionCandidates(m *dnn.Model, env Env, opt Options) []int {
 	if opt.FixedPartition != FreePartition {
 		lo, hi = opt.FixedPartition, opt.FixedPartition
 	}
-	// Prefix parameter bytes for the device-side memory check.
-	prefixParams := make([]int64, n+1)
-	maxAct := make([]int64, n+1) // largest activation within units 1..k
-	maxAct[0] = m.InputBytes()
-	for i, u := range m.Units {
-		prefixParams[i+1] = prefixParams[i] + u.Params()*dnn.BytesPerElement
-		maxAct[i+1] = maxAct[i]
-		if b := u.OutBytes(); b > maxAct[i+1] {
-			maxAct[i+1] = b
-		}
-	}
+	// Prefix parameter bytes and running-max activations are cached on the
+	// model, so the sweep below allocates nothing beyond the result slice.
 	for p := lo; p <= hi; p++ {
 		if p < 0 || p > n {
 			continue
 		}
 		if p > 0 {
-			need := prefixParams[p] + 2*maxAct[p]
+			need := m.PrefixParamBytes(p) + 2*m.MaxActBytesThrough(p)
 			if need > env.Device.MemBytes {
 				continue
 			}
@@ -139,7 +146,7 @@ func partitionCandidates(m *dnn.Model, env Env, opt Options) []int {
 			continue
 		}
 		if p < n && env.Server != nil {
-			need := (prefixParams[n] - prefixParams[p]) + 2*m.MaxActivationBytes()
+			need := (m.PrefixParamBytes(n) - m.PrefixParamBytes(p)) + 2*m.MaxActivationBytes()
 			if need > env.Server.MemBytes {
 				continue
 			}
@@ -164,12 +171,14 @@ type precomp struct {
 	depth     []float64 // depth fraction of candidate i
 	acc       []float64 // accuracy at candidate i
 
-	// Reusable buffers for solveChain.
+	// Reusable buffers for solveChain and the evaluation loop.
 	tauBuf, fBuf, accBuf []float64
 	distBuf              []float64
 	prevBuf              []int
 	dpBuf, dpAccBuf      [][]float64
 	fromBuf              [][]int32
+	exitsBuf             []int
+	probsBuf             []float64
 }
 
 func newPrecomp(m *dnn.Model, env Env, cand []int) *precomp {
@@ -318,7 +327,9 @@ func (pc *precomp) solveChain(p int, theta float64, opt Options) ([]int, bool) {
 				}
 			}
 		}
-		return chainToExits(prev, K, cut), true
+		exits := chainToExits(prev, K, cut, pc.exitsBuf[:0])
+		pc.exitsBuf = exits
+		return exits, true
 	}
 
 	// Resource-constrained shortest path with a quantized accuracy index.
@@ -386,8 +397,8 @@ func (pc *precomp) solveChain(p int, theta float64, opt Options) ([]int, bool) {
 	if bestQ < 0 {
 		return nil, false
 	}
-	// Reconstruct.
-	var exits []int
+	// Reconstruct into the reusable exits buffer.
+	exits := pc.exitsBuf[:0]
 	node, q := K+1, bestQ
 	for node != 0 {
 		f := from[node][q]
@@ -401,13 +412,14 @@ func (pc *precomp) solveChain(p int, theta float64, opt Options) ([]int, bool) {
 		node, q = pnode, pq
 	}
 	reverseInts(exits)
+	pc.exitsBuf = exits
 	return exits, true
 }
 
 // chainToExits walks predecessor links from the final node back to the
-// source and returns the selected interior exit cuts in ascending order.
-func chainToExits(prev []int, K int, cut func(int) int) []int {
-	var exits []int
+// source and appends the selected interior exit cuts, ascending, into buf.
+func chainToExits(prev []int, K int, cut func(int) int, buf []int) []int {
+	exits := buf
 	for node := K + 1; node != 0; {
 		p := prev[node]
 		if p > 0 {

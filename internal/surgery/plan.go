@@ -220,21 +220,36 @@ func Evaluate(p Plan, env Env) (Eval, error) {
 	if err := env.Validate(); err != nil {
 		return Eval{}, err
 	}
-	m := p.Model
-	n := m.NumUnits()
-	if env.Server == nil && p.Partition != n {
+	if env.Server == nil && p.Partition != p.Model.NumUnits() {
 		return Eval{}, fmt.Errorf("surgery: plan %v offloads but env has no server", p)
 	}
+	return evaluateInto(p, env, nil), nil
+}
+
+// evaluateInto is Evaluate's allocation-lean core: the plan and environment
+// must already be known valid, and ExitProbs is appended into probsBuf
+// (pass a reusable buffer's [:0] slice to amortize the allocation across a
+// sweep, or nil for a fresh slice).
+func evaluateInto(p Plan, env Env, probsBuf []float64) Eval {
+	m := p.Model
+	n := m.NumUnits()
 	curves := env.curves()
 
-	cuts := p.AllExitCuts()
 	var ev Eval
-	ev.ExitProbs = make([]float64, len(cuts))
+	nCuts := len(p.Exits) + 1 // interior exits plus the implicit final exit
+	ev.ExitProbs = probsBuf
+	for i := 0; i < nCuts; i++ {
+		ev.ExitProbs = append(ev.ExitProbs, 0)
+	}
 
 	prevCut := 0
 	prevTau := 0.0
 	var cumDev, cumSrv, cumTx, cumRTT float64 // path accumulators up to current exit
-	for i, cut := range cuts {
+	for i := 0; i < nCuts; i++ {
+		cut := n
+		if i < len(p.Exits) {
+			cut = p.Exits[i]
+		}
 		// Backbone segment (prevCut, cut].
 		devEnd := min(cut, p.Partition)
 		if devEnd > prevCut {
@@ -286,7 +301,7 @@ func Evaluate(p Plan, env Env) (Eval, error) {
 	}
 	ev.FixedSec += ev.DeviceSec
 	ev.Latency = ev.LatencyAt(envShare(env.ComputeShare), envShare(env.BandwidthShare))
-	return ev, nil
+	return ev
 }
 
 func envShare(s float64) float64 {
