@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench experiments examples cover clean
+.PHONY: all build vet test test-short test-race fuzz-smoke bench experiments examples cover clean
 
 all: build vet test
 
@@ -23,7 +23,14 @@ test-short:
 test-race:
 	$(GO) test -race ./internal/joint/... ./internal/surgery/...
 
-# One benchmark per evaluation artifact (E1-E19) plus kernel microbenchmarks.
+# Short fuzzing pass over the optimizer kernels (~10 s per target): the
+# surgery optimizer must never panic or emit invalid plans, and the
+# deadline-aware allocator must keep shares in [0, 1] summing to <= 1.
+fuzz-smoke:
+	$(GO) test ./internal/surgery -run '^$$' -fuzz FuzzSurgeryOptimize -fuzztime 10s
+	$(GO) test ./internal/alloc -run '^$$' -fuzz FuzzAllocDeadline -fuzztime 10s
+
+# One benchmark per evaluation artifact (E1-E20) plus kernel microbenchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
 

@@ -102,6 +102,9 @@ func BenchmarkE18DisciplineSensitivity(b *testing.B) { benchExperiment(b, "E18")
 // Table 4 (extension): max sustainable throughput at 90% satisfaction.
 func BenchmarkE19SaturationThroughput(b *testing.B) { benchExperiment(b, "E19") }
 
+// Figure 18 (extension): availability under server/link failures.
+func BenchmarkE20AvailabilityUnderFailures(b *testing.B) { benchExperiment(b, "E20") }
+
 // --- microbenchmarks -----------------------------------------------------
 
 func benchEnv(b *testing.B) surgery.Env {

@@ -7,10 +7,10 @@ import (
 
 func TestRegistryCompleteAndOrdered(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 19 {
-		t.Fatalf("got %d experiments, want 19: %v", len(ids), ids)
+	if len(ids) != 20 {
+		t.Fatalf("got %d experiments, want 20: %v", len(ids), ids)
 	}
-	if ids[0] != "E1" || ids[18] != "E19" {
+	if ids[0] != "E1" || ids[19] != "E20" {
 		t.Fatalf("bad ordering: %v", ids)
 	}
 	reg := Registry()
@@ -113,6 +113,32 @@ func TestHeavyExperimentsRun(t *testing.T) {
 	}
 	for _, id := range []string{"E4", "E5", "E7", "E8", "E13", "E14", "E17", "E18", "E19"} {
 		runReport(t, id)
+	}
+}
+
+func TestE20FailureAwareWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault-trace simulations in -short mode")
+	}
+	// runReport fails on the WARNING notes E20 emits when failure-aware
+	// dispatch is not strictly better inside fault windows or recovery
+	// does not restore the pre-fault plan.
+	r := runReport(t, "E20")
+	if len(r.Tables) != 2 {
+		t.Fatalf("want per-epoch + overall tables, got %d", len(r.Tables))
+	}
+	if rows := len(r.Tables[0].Rows); rows != 12 {
+		t.Errorf("epoch rows = %d, want 12", rows)
+	}
+	if rows := len(r.Tables[1].Rows); rows != 3 {
+		t.Errorf("overall rows = %d, want 3", rows)
+	}
+	restored := false
+	for _, n := range r.Notes {
+		restored = restored || strings.Contains(n, "restored the pristine plan")
+	}
+	if !restored {
+		t.Error("recovery note missing")
 	}
 }
 

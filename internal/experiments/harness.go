@@ -74,6 +74,7 @@ func Registry() map[string]Runner {
 		"E17": E17PriorityWeights,
 		"E18": E18DisciplineSensitivity,
 		"E19": E19SaturationThroughput,
+		"E20": E20AvailabilityUnderFailures,
 	}
 }
 

@@ -1,0 +1,169 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestWindowValidation(t *testing.T) {
+	bad := []Window{
+		{Kind: ServerCrash, Server: -1, Start: 0, End: 1},
+		{Kind: ServerCrash, Server: 0, Start: 2, End: 2},
+		{Kind: ServerCrash, Server: 0, Start: 3, End: 1},
+		{Kind: ServerCrash, Server: 0, Start: -1, End: 1},
+		{Kind: ServerCrash, Server: 0, Start: math.NaN(), End: 1},
+		{Kind: ServerCrash, Server: 0, Start: 0, End: math.Inf(1) * -1},
+		{Kind: Brownout, Server: 0, Start: 0, End: 1, Factor: 0},
+		{Kind: Brownout, Server: 0, Start: 0, End: 1, Factor: 1},
+		{Kind: Brownout, Server: 0, Start: 0, End: 1, Factor: math.NaN()},
+		{Kind: Kind(99), Server: 0, Start: 0, End: 1},
+	}
+	for i, w := range bad {
+		if _, err := New(w); err == nil {
+			t.Errorf("window %d (%+v) accepted", i, w)
+		}
+	}
+	if _, err := New(Window{Kind: Brownout, Server: 0, Start: 0, End: 1, Factor: 0.5}); err != nil {
+		t.Fatalf("valid brownout rejected: %v", err)
+	}
+}
+
+func TestNilScheduleIsAlwaysUp(t *testing.T) {
+	var s *Schedule
+	if !s.ServerUp(0, 10) || !s.LinkUp(3, 0) || !s.Reachable(1, 5) {
+		t.Fatal("nil schedule reported a fault")
+	}
+	if f := s.CapacityFactor(0, 1); f != 1 {
+		t.Fatalf("nil schedule capacity factor %g", f)
+	}
+	if !math.IsInf(s.NextComputeChange(0, 0), 1) || !math.IsInf(s.NextLinkChange(0, 0), 1) {
+		t.Fatal("nil schedule has boundaries")
+	}
+	if got := s.UpFraction(0, 100); got != 1 {
+		t.Fatalf("nil schedule availability %g", got)
+	}
+}
+
+func TestScheduleQueries(t *testing.T) {
+	s := MustNew(
+		Window{Kind: ServerCrash, Server: 0, Start: 10, End: 20},
+		Window{Kind: LinkOutage, Server: 1, Start: 15, End: 25},
+		Window{Kind: Brownout, Server: 0, Start: 30, End: 40, Factor: 0.25},
+	)
+	// Half-open windows: down at Start, up again exactly at End.
+	if s.ServerUp(0, 10) || !s.ServerUp(0, 20) || !s.ServerUp(0, 9.999) {
+		t.Error("crash window boundaries wrong")
+	}
+	if s.LinkUp(1, 15) || !s.LinkUp(1, 25) {
+		t.Error("outage window boundaries wrong")
+	}
+	// Faults are per-server.
+	if !s.ServerUp(1, 15) || !s.LinkUp(0, 20) {
+		t.Error("fault leaked onto the wrong server")
+	}
+	if f := s.CapacityFactor(0, 35); f != 0.25 {
+		t.Errorf("brownout factor = %g, want 0.25", f)
+	}
+	if f := s.CapacityFactor(0, 15); f != 0 {
+		t.Errorf("crashed factor = %g, want 0", f)
+	}
+	if got := s.NextComputeChange(0, 0); got != 10 {
+		t.Errorf("next compute change = %g, want 10", got)
+	}
+	if got := s.NextComputeChange(0, 10); got != 20 {
+		t.Errorf("next compute change after 10 = %g, want 20", got)
+	}
+	if got := s.NextLinkChange(1, 20); got != 25 {
+		t.Errorf("next link change = %g, want 25", got)
+	}
+	if got := s.ServerRecovery(0, 12); got != 20 {
+		t.Errorf("recovery = %g, want 20", got)
+	}
+	if got := s.LinkRestore(1, 16); got != 25 {
+		t.Errorf("restore = %g, want 25", got)
+	}
+	if up := s.Health(2, 17); up[0] || up[1] {
+		t.Errorf("health at 17 = %v, want both down", up)
+	}
+	if up := s.Health(2, 27); !up[0] || !up[1] {
+		t.Errorf("health at 27 = %v, want both up", up)
+	}
+	// Server 0 is unreachable for 10 s (crash) of 100; brown-out does not
+	// affect reachability.
+	if got := s.UpFraction(0, 100); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("server 0 availability = %g, want 0.9", got)
+	}
+	if got := s.UpFraction(1, 100); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("server 1 availability = %g, want 0.9", got)
+	}
+}
+
+func TestMergeAndOverlap(t *testing.T) {
+	a := MustNew(Window{Kind: ServerCrash, Server: 0, Start: 0, End: 10})
+	b := MustNew(
+		Window{Kind: Brownout, Server: 0, Start: 5, End: 15, Factor: 0.5},
+		Window{Kind: Brownout, Server: 0, Start: 12, End: 20, Factor: 0.3},
+	)
+	m := Merge(a, nil, b)
+	if len(m.Windows()) != 3 {
+		t.Fatalf("merged %d windows, want 3", len(m.Windows()))
+	}
+	// Crash dominates brown-out while both are active.
+	if f := m.CapacityFactor(0, 7); f != 0 {
+		t.Errorf("factor during crash+brownout = %g, want 0", f)
+	}
+	// Overlapping brown-outs take the minimum factor.
+	if f := m.CapacityFactor(0, 13); f != 0.3 {
+		t.Errorf("factor during overlapping brownouts = %g, want 0.3", f)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{Servers: 3, Horizon: 600, MeanBetween: 60, MeanDuration: 15, Seed: 42}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Windows(), b.Windows()) {
+		t.Fatal("same seed produced different schedules")
+	}
+	cfg.Seed = 43
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Windows(), c.Windows()) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if a.Empty() {
+		t.Fatal("600 s horizon with 60 s mean gap generated no faults")
+	}
+	for i, w := range a.Windows() {
+		if err := w.Validate(); err != nil {
+			t.Fatalf("generated window %d invalid: %v", i, err)
+		}
+		if w.Start >= cfg.Horizon {
+			t.Fatalf("generated window %d starts past horizon: %+v", i, w)
+		}
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	bad := []GenConfig{
+		{Servers: 0, Horizon: 10, MeanBetween: 1, MeanDuration: 1},
+		{Servers: 1, Horizon: 0, MeanBetween: 1, MeanDuration: 1},
+		{Servers: 1, Horizon: 10, MeanBetween: 0, MeanDuration: 1},
+		{Servers: 1, Horizon: 10, MeanBetween: 1, MeanDuration: 0},
+		{Servers: 1, Horizon: 10, MeanBetween: 1, MeanDuration: 1, BrownoutFactor: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}

@@ -1,52 +1,153 @@
 package joint
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Dispatcher is the online layer: it holds the current plan and re-runs the
 // cheap planner steps (surgery + allocation, keeping assignments) whenever
 // the observed environment drifts — the runtime companion to the offline
 // block-coordinate planner. Experiment E13 drives it across a fading trace.
+//
+// Beyond drift, the dispatcher is the system's failure-recovery controller
+// (experiment E20): ObserveHealth evacuates users off unreachable servers
+// through the same assignment machinery, falls back to fully local surgery
+// plans when no server is reachable, sheds the lowest-weight users to local
+// execution when post-failure load makes deadlines infeasible, and restores
+// the pristine optimal plan once every server reports healthy.
 type Dispatcher struct {
 	sc      *Scenario
 	planner *Planner
 	plan    *Plan
+	base    *Plan  // pristine construction-time plan, restored on recovery
+	down    []bool // per-server: true while the last health probe said unreachable
+	health  HealthReport
+}
+
+// BadObservationError reports a rejected health/uplink observation: a
+// non-finite observed rate would poison every subsequent planning step, so
+// the dispatcher refuses it and keeps its current plan.
+type BadObservationError struct {
+	Server int
+	Rate   float64
+}
+
+// Error implements error.
+func (e *BadObservationError) Error() string {
+	return fmt.Sprintf("joint: observed uplink rate %g for server %d is not finite", e.Rate, e.Server)
+}
+
+// HealthReport summarizes what the last observation did.
+type HealthReport struct {
+	// Down mirrors the health state the report was computed under.
+	Down []bool
+	// Evacuated counts users moved off an unreachable server.
+	Evacuated int
+	// LocalFallback counts users now executing fully on-device because no
+	// server was reachable for them.
+	LocalFallback int
+	// Shed counts users moved to local execution by admission control
+	// (deadlines infeasible under post-failure load).
+	Shed int
+	// Degraded lists users left assigned to an unreachable server because
+	// neither another server nor local execution could hold their model;
+	// their tasks will fail until recovery.
+	Degraded []int
+	// Restored is true when the observation returned the dispatcher to
+	// its pristine base plan (every server healthy again).
+	Restored bool
 }
 
 // NewDispatcher plans the scenario and returns the running dispatcher.
 func NewDispatcher(sc *Scenario, planner *Planner) (*Dispatcher, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
 	plan, err := planner.Plan(sc)
 	if err != nil {
 		return nil, err
 	}
-	return &Dispatcher{sc: sc, planner: planner, plan: plan}, nil
+	return &Dispatcher{
+		sc:      sc,
+		planner: planner,
+		plan:    plan,
+		base:    clonePlan(plan),
+		down:    make([]bool, len(sc.Servers)),
+	}, nil
 }
 
 // Current returns the active plan.
 func (d *Dispatcher) Current() *Plan { return d.plan }
 
+// Health returns the report of the most recent observation.
+func (d *Dispatcher) Health() HealthReport { return d.health }
+
 // ObserveUplinks replaces each server's planning-time uplink rate with the
 // observed value (bps) and replans surgery + allocation without changing
-// assignments. Passing a non-positive rate keeps that server's link as-is.
+// assignments. Passing a non-positive rate keeps that server's link as-is;
+// NaN or ±Inf rates are rejected with a *BadObservationError and leave the
+// current plan untouched.
 func (d *Dispatcher) ObserveUplinks(ratesBps []float64) (*Plan, error) {
-	if len(ratesBps) != len(d.sc.Servers) {
+	return d.Observe(nil, ratesBps)
+}
+
+// ObserveHealth ingests a health probe: serverUp[s] reports whether server
+// s is reachable (compute and uplink both up). Users on unreachable
+// servers are evacuated to the healthiest reachable server, or to fully
+// local execution when none is reachable; admission control then sheds the
+// lowest-weight users to local execution if the surviving capacity cannot
+// meet deadlines. When every server is healthy again the pristine optimal
+// plan is restored.
+func (d *Dispatcher) ObserveHealth(serverUp []bool) (*Plan, error) {
+	return d.Observe(serverUp, nil)
+}
+
+// Observe is the general form: a health probe (nil = no change to the
+// current health state) combined with observed uplink rates (nil = keep
+// planning-time rates; non-positive entries keep that link as-is).
+func (d *Dispatcher) Observe(serverUp []bool, ratesBps []float64) (*Plan, error) {
+	if serverUp != nil && len(serverUp) != len(d.sc.Servers) {
+		return nil, fmt.Errorf("joint: observed %d health states for %d servers", len(serverUp), len(d.sc.Servers))
+	}
+	if ratesBps != nil && len(ratesBps) != len(d.sc.Servers) {
 		return nil, fmt.Errorf("joint: observed %d uplink rates for %d servers", len(ratesBps), len(d.sc.Servers))
 	}
+	for s, r := range ratesBps {
+		if math.IsNaN(r) || math.IsInf(r, 0) {
+			return nil, &BadObservationError{Server: s, Rate: r}
+		}
+	}
+	if serverUp != nil {
+		for s, up := range serverUp {
+			d.down[s] = !up
+		}
+	}
+	anyDown := false
+	for _, dn := range d.down {
+		anyDown = anyDown || dn
+	}
+	drifted := false
+	for _, r := range ratesBps {
+		drifted = drifted || r > 0
+	}
+
+	report := HealthReport{Down: append([]bool(nil), d.down...)}
+	if !anyDown && !drifted {
+		// Full recovery with no rate drift: hand back the pristine plan
+		// rather than re-deriving it from equal shares.
+		d.plan = clonePlan(d.base)
+		report.Restored = true
+		d.health = report
+		return d.plan, nil
+	}
+
 	opt := d.planner.opts()
 	st, err := newState(d.sc, opt)
 	if err != nil {
 		return nil, err
 	}
-	// Keep the standing assignment.
-	for s := range st.assigned {
-		st.assigned[s] = st.assigned[s][:0]
-	}
-	for ui := range d.plan.Decisions {
-		srv := d.plan.Decisions[ui].Server
-		st.ds[ui].Server = srv
-		if srv >= 0 {
-			st.assigned[srv] = append(st.assigned[srv], ui)
-		}
-	}
+	d.assignWithHealth(st, &report)
 	st.equalShares()
 	for s, r := range ratesBps {
 		if r > 0 {
@@ -60,17 +161,121 @@ func (d *Dispatcher) ObserveUplinks(ratesBps []float64) (*Plan, error) {
 		}
 		st.allocStep()
 	}
+	if anyDown {
+		// Admission control: the fault may have concentrated load beyond
+		// what deadlines allow; shed the cheapest users to local execution
+		// until the remainder is feasible.
+		shed, err := st.shedStep()
+		if err != nil {
+			return nil, err
+		}
+		report.Shed = shed
+		report.LocalFallback += shed
+	}
+	suffix := "+online"
+	if anyDown {
+		suffix = "+failover"
+	}
 	d.plan = &Plan{
 		Decisions:   st.ds,
 		Objective:   objective(d.sc, st.ds),
 		Feasible:    st.feasible,
 		Iterations:  2,
-		PlannerName: d.planner.Name() + "+online",
+		PlannerName: d.planner.Name() + suffix,
 	}
 	if st.cache != nil {
 		d.plan.SurgeryCacheHits, d.plan.SurgeryCacheMisses = st.cache.counters()
 	}
+	d.health = report
 	return d.plan, nil
+}
+
+// assignWithHealth rebuilds st's user-to-server assignment under the
+// current health state. Each user prefers its pristine (base-plan) server,
+// then its current server, then — if both are unreachable — evacuates to
+// the reachable server with the least normalized load, then to fully local
+// execution if its device can hold the model, and as a last resort stays
+// on its unreachable server (recorded as Degraded). Iteration is in user
+// order, so the assignment is deterministic.
+func (d *Dispatcher) assignWithHealth(st *state, report *HealthReport) {
+	sc := d.sc
+	reachable := func(s int) bool { return s >= 0 && s < len(sc.Servers) && !d.down[s] }
+	for s := range st.assigned {
+		st.assigned[s] = st.assigned[s][:0]
+	}
+	load := make([]float64, len(sc.Servers))
+	work := func(ui int) float64 {
+		u := &sc.Users[ui]
+		return float64(u.Model.TotalFLOPs()) * math.Max(u.planningRate(), 0.01)
+	}
+	for ui := range sc.Users {
+		prefer := d.base.Decisions[ui].Server
+		cur := d.plan.Decisions[ui].Server
+		target := -1
+		switch {
+		case reachable(prefer):
+			target = prefer
+		case reachable(cur):
+			target = cur
+		case prefer < 0 && cur < 0:
+			target = -1 // local by design
+		default:
+			// Evacuate: least normalized pending load among reachable
+			// servers, matching the planner's initial-assignment rule.
+			best, bestLoad := -1, math.Inf(1)
+			for s := range sc.Servers {
+				if !reachable(s) {
+					continue
+				}
+				if l := load[s] / sc.Servers[s].Profile.PeakFLOPS; l < bestLoad {
+					best, bestLoad = s, l
+				}
+			}
+			u := &sc.Users[ui]
+			switch {
+			case best >= 0:
+				target = best
+			case u.Device.FitsModel(u.Model) && localViable(st, ui):
+				target = -1
+				report.LocalFallback++
+			default:
+				// Nowhere to go — the model does not fit (or cannot keep
+				// up with its arrival rate) on-device. Stay put; tasks
+				// will fail until the server recovers. Record the
+				// degradation honestly.
+				if cur >= 0 {
+					target = cur
+				} else {
+					target = prefer
+				}
+				report.Degraded = append(report.Degraded, ui)
+			}
+		}
+		if cur >= 0 && d.down[cur] && target != cur {
+			report.Evacuated++
+		}
+		st.ds[ui].Server = target
+		if target >= 0 {
+			st.assigned[target] = append(st.assigned[target], ui)
+			load[target] += work(ui)
+		}
+	}
+}
+
+// localViable reports whether user ui has any feasible fully-local
+// surgery plan (device memory, stability at the arrival rate, and accuracy
+// floor all satisfiable). It probes by optimizing the user in a
+// server-less environment; on success the resulting local plan is already
+// installed, on failure the previous decision is restored.
+func localViable(st *state, ui int) bool {
+	prev := st.ds[ui]
+	st.ds[ui].Server = -1
+	st.ds[ui].ComputeShare, st.ds[ui].BandwidthShare = 0, 0
+	if err := st.refreshUser(ui); err != nil {
+		st.ds[ui] = prev
+		return false
+	}
+	return true
 }
 
 // ObserveWindow is a convenience that samples each server's mean link rate
@@ -89,4 +294,13 @@ func (d *Dispatcher) ObserveWindow(t, window float64) (*Plan, error) {
 		rates[s] = sum / steps
 	}
 	return d.ObserveUplinks(rates)
+}
+
+// clonePlan deep-copies the slices a caller could otherwise mutate through
+// the returned plan.
+func clonePlan(p *Plan) *Plan {
+	c := *p
+	c.Decisions = append([]Decision(nil), p.Decisions...)
+	c.Trajectory = append([]float64(nil), p.Trajectory...)
+	return &c
 }

@@ -2,6 +2,7 @@ package joint
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"edgesurgeon/internal/dnn"
@@ -290,9 +291,62 @@ func TestScenarioValidation(t *testing.T) {
 	if err := sc.Validate(); err == nil {
 		t.Error("device profile accepted as server")
 	}
+
+	// Every mutation below must be rejected, and the error must name the
+	// offending index.
+	cases := []struct {
+		name    string
+		mutate  func(sc *Scenario)
+		wantSub string
+	}{
+		{"nan rate", func(sc *Scenario) { sc.Users[1].Rate = math.NaN() }, "user 1"},
+		{"inf deadline", func(sc *Scenario) { sc.Users[2].Deadline = math.Inf(1) }, "user 2"},
+		{"negative provision", func(sc *Scenario) { sc.Users[0].ProvisionRate = -1 }, "user 0"},
+		{"nan weight", func(sc *Scenario) { sc.Users[0].Weight = math.NaN() }, "user 0"},
+		{"accuracy above 1", func(sc *Scenario) { sc.Users[1].MinAccuracy = 1.5 }, "user 1"},
+		{"inf compression", func(sc *Scenario) { sc.Users[0].TxCompression = math.Inf(1) }, "user 0"},
+		{"nan horizon", func(sc *Scenario) { sc.PlanningHorizon = math.NaN() }, "horizon"},
+		{"zero capacity", func(sc *Scenario) {
+			p := *sc.Servers[1].Profile
+			p.PeakFLOPS = 0
+			sc.Servers[1].Profile = &p
+		}, "server 1"},
+		{"zero uplink", func(sc *Scenario) {
+			sc.Servers[0].Link = deadLink{}
+		}, "server 0"},
+		{"negative rtt", func(sc *Scenario) { sc.Servers[1].RTT = -0.001 }, "server 1"},
+	}
+	for _, tc := range cases {
+		sc := testScenario(t, 3, 30)
+		tc.mutate(sc)
+		err := sc.Validate()
+		if err == nil {
+			t.Errorf("%s: validated", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not name %q", tc.name, err, tc.wantSub)
+		}
+	}
+	if err := testScenario(t, 3, 30).Validate(); err != nil {
+		t.Errorf("healthy scenario rejected: %v", err)
+	}
 }
 
+// deadLink is a link whose rate is always zero — constructible only in
+// tests (netmodel constructors reject non-positive rates) but exactly what
+// a buggy hand-built scenario could contain.
+type deadLink struct{}
+
+func (deadLink) Name() string                { return "dead" }
+func (deadLink) RateAt(t float64) float64    { return 0 }
+func (deadLink) NextChange(t float64) float64 { return math.Inf(1) }
+func (deadLink) RTT() float64                { return 0 }
+
 func TestNoServersScenario(t *testing.T) {
+	// The joint planner (and therefore the dispatcher) requires servers to
+	// optimize over; device-only studies use the local-only baseline. A
+	// serverless scenario must fail up front rather than silently degrade.
 	pi, _ := hardware.ByName("rpi4")
 	sc := &Scenario{
 		Users: []User{{
@@ -300,15 +354,11 @@ func TestNoServersScenario(t *testing.T) {
 			Rate: 1, Difficulty: workload.EasyBiased,
 		}},
 	}
-	plan, err := (&Planner{}).Plan(sc)
-	if err != nil {
-		t.Fatal(err)
+	if _, err := (&Planner{}).Plan(sc); err == nil {
+		t.Error("planning a zero-server scenario succeeded")
 	}
-	if plan.Decisions[0].Server != -1 {
-		t.Errorf("server = %d, want -1", plan.Decisions[0].Server)
-	}
-	if plan.Decisions[0].Plan.Partition != sc.Users[0].Model.NumUnits() {
-		t.Error("no-server plan must be fully local")
+	if _, err := NewDispatcher(sc, &Planner{}); err == nil {
+		t.Error("dispatcher accepted a zero-server scenario")
 	}
 }
 

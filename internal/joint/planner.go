@@ -95,6 +95,12 @@ func (p *Planner) Plan(sc *Scenario) (*Plan, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
+	// Device-only studies go through the local-only baseline; the joint
+	// planner's surgery/allocation/assignment loop needs servers to
+	// optimize over.
+	if len(sc.Servers) == 0 {
+		return nil, fmt.Errorf("joint: scenario has no servers (use the local-only baseline for device-only studies)")
+	}
 	opt := p.opts()
 	st, err := newState(sc, opt)
 	if err != nil {
@@ -232,7 +238,11 @@ type state struct {
 	ds       []Decision
 	assigned [][]int // per server: user indices
 	feasible bool
-	uplink   []float64 // cached mean uplink rate per server
+	// srvFeasible records, per server, whether the last allocation on it
+	// satisfied every deadline/stability bound — the dispatcher's admission
+	// control (shedStep) uses it to find overloaded servers after a failure.
+	srvFeasible []bool
+	uplink      []float64 // cached mean uplink rate per server
 
 	workers int           // resolved worker-pool size for fan-out steps
 	cache   *surgeryCache // per-Plan-call surgery memoization (nil if disabled)
@@ -243,6 +253,10 @@ func newState(sc *Scenario, opt Options) (*state, error) {
 	st := &state{sc: sc, opt: opt, feasible: true}
 	st.ds = make([]Decision, len(sc.Users))
 	st.assigned = make([][]int, len(sc.Servers))
+	st.srvFeasible = make([]bool, len(sc.Servers))
+	for s := range st.srvFeasible {
+		st.srvFeasible[s] = true
+	}
 	st.uplink = make([]float64, len(sc.Servers))
 	st.workers = opt.parallelism()
 	if !opt.DisableSurgeryCache {
@@ -445,16 +459,19 @@ func (st *state) allocStep() {
 		// Equal shares may still violate deadlines; report feasibility
 		// against them for parity with the allocating arms.
 		for s := range st.assigned {
+			st.srvFeasible[s] = true
 			for _, ui := range st.assigned[s] {
 				u := &st.sc.Users[ui]
 				if u.Deadline > 0 && st.ds[ui].Latency() > u.Deadline {
 					st.feasible = false
+					st.srvFeasible[s] = false
 				}
 			}
 		}
 		return
 	}
 	for s := range st.assigned {
+		st.srvFeasible[s] = true
 		if len(st.assigned[s]) == 0 {
 			continue
 		}
@@ -470,6 +487,7 @@ func (st *state) allocStep() {
 		}
 		if !a.Feasible {
 			st.feasible = false
+			st.srvFeasible[s] = false
 		}
 		for i, ui := range st.assigned[s] {
 			st.ds[ui].ComputeShare = math.Max(a.Compute[i], 1e-9)
@@ -560,14 +578,15 @@ func (st *state) reassignStep() error {
 // parallelism lives one level up, across candidates.
 func (st *state) scratchClone() *state {
 	c := &state{
-		sc:       st.sc,
-		opt:      st.opt,
-		ds:       append([]Decision(nil), st.ds...),
-		assigned: make([][]int, len(st.assigned)),
-		feasible: st.feasible,
-		uplink:   st.uplink,
-		workers:  1,
-		cache:    st.cache,
+		sc:          st.sc,
+		opt:         st.opt,
+		ds:          append([]Decision(nil), st.ds...),
+		assigned:    make([][]int, len(st.assigned)),
+		feasible:    st.feasible,
+		srvFeasible: append([]bool(nil), st.srvFeasible...),
+		uplink:      st.uplink,
+		workers:     1,
+		cache:       st.cache,
 	}
 	for i := range st.assigned {
 		c.assigned[i] = append([]int(nil), st.assigned[i]...)
@@ -597,6 +616,7 @@ func (st *state) refreshUser(ui int) error {
 
 // allocServer re-allocates one server in isolation.
 func (st *state) allocServer(s int) {
+	st.srvFeasible[s] = true
 	if len(st.assigned[s]) == 0 {
 		return
 	}
@@ -605,6 +625,12 @@ func (st *state) allocServer(s int) {
 		for _, ui := range st.assigned[s] {
 			st.ds[ui].ComputeShare = 1 / n
 			st.ds[ui].BandwidthShare = 1 / n
+		}
+		for _, ui := range st.assigned[s] {
+			u := &st.sc.Users[ui]
+			if u.Deadline > 0 && st.ds[ui].Latency() > u.Deadline {
+				st.srvFeasible[s] = false
+			}
 		}
 		return
 	}
@@ -618,8 +644,77 @@ func (st *state) allocServer(s int) {
 	default:
 		a = alloc.DeadlineAware(demands)
 	}
+	if !a.Feasible {
+		st.srvFeasible[s] = false
+	}
 	for i, ui := range st.assigned[s] {
 		st.ds[ui].ComputeShare = math.Max(a.Compute[i], 1e-9)
 		st.ds[ui].BandwidthShare = math.Max(a.Bandwidth[i], 1e-9)
+	}
+}
+
+// shedStep is the dispatcher's admission control: while a server's last
+// allocation violated deadline/stability bounds, move its lowest-weight
+// user (ties to the earliest index) whose device can hold its model to
+// fully local execution, re-plan that user's surgery on-device, and
+// re-allocate the lightened server. Servers are independent under
+// per-server allocation, so each is drained in index order. Returns the
+// number of users shed.
+func (st *state) shedStep() (int, error) {
+	shed := 0
+	for s := range st.assigned {
+		var excluded map[int]bool
+		for !st.srvFeasible[s] && len(st.assigned[s]) > 0 {
+			pick := -1
+			for _, ui := range st.assigned[s] {
+				if excluded[ui] {
+					continue
+				}
+				u := &st.sc.Users[ui]
+				if !u.Device.FitsModel(u.Model) {
+					continue
+				}
+				if pick < 0 || u.weight() < st.sc.Users[pick].weight() {
+					pick = ui
+				}
+			}
+			if pick < 0 {
+				break // nobody on this server can run locally
+			}
+			prev := st.ds[pick]
+			st.dropFromServer(pick, s)
+			st.ds[pick].Server = -1
+			st.ds[pick].ComputeShare, st.ds[pick].BandwidthShare = 0, 0
+			if err := st.refreshUser(pick); err != nil {
+				// On-device surgery can still fail (e.g. an accuracy floor
+				// no local plan meets); restore the user and try the next
+				// candidate.
+				st.ds[pick] = prev
+				st.assigned[s] = append(st.assigned[s], pick)
+				if excluded == nil {
+					excluded = make(map[int]bool)
+				}
+				excluded[pick] = true
+				continue
+			}
+			st.allocServer(s)
+			shed++
+		}
+	}
+	st.feasible = true
+	for _, ok := range st.srvFeasible {
+		st.feasible = st.feasible && ok
+	}
+	return shed, nil
+}
+
+// dropFromServer removes user ui from server s's assignment list.
+func (st *state) dropFromServer(ui, s int) {
+	lst := st.assigned[s]
+	for i, v := range lst {
+		if v == ui {
+			st.assigned[s] = append(lst[:i], lst[i+1:]...)
+			return
+		}
 	}
 }

@@ -9,6 +9,7 @@ package joint
 
 import (
 	"fmt"
+	"math"
 
 	"edgesurgeon/internal/dnn"
 	"edgesurgeon/internal/hardware"
@@ -88,17 +89,37 @@ type Scenario struct {
 	PlanningHorizon float64
 }
 
-// Validate checks scenario consistency.
+// Validate checks scenario consistency. Every rejection names the
+// offending user or server index so a malformed generated scenario is
+// diagnosable from the error alone.
 func (sc *Scenario) Validate() error {
 	if len(sc.Users) == 0 {
 		return fmt.Errorf("joint: scenario has no users")
+	}
+	if bad(sc.PlanningHorizon) || sc.PlanningHorizon < 0 {
+		return fmt.Errorf("joint: planning horizon %g is not a non-negative finite number", sc.PlanningHorizon)
 	}
 	for i, u := range sc.Users {
 		if u.Model == nil || u.Device == nil {
 			return fmt.Errorf("joint: user %d (%s) missing model or device", i, u.Name)
 		}
-		if u.Rate < 0 {
-			return fmt.Errorf("joint: user %d (%s) negative rate", i, u.Name)
+		if bad(u.Rate) || u.Rate < 0 {
+			return fmt.Errorf("joint: user %d (%s) rate %g is not a non-negative finite number", i, u.Name, u.Rate)
+		}
+		if bad(u.ProvisionRate) || u.ProvisionRate < 0 {
+			return fmt.Errorf("joint: user %d (%s) provision rate %g is not a non-negative finite number", i, u.Name, u.ProvisionRate)
+		}
+		if bad(u.Deadline) || u.Deadline < 0 {
+			return fmt.Errorf("joint: user %d (%s) deadline %g is not a non-negative finite number", i, u.Name, u.Deadline)
+		}
+		if bad(u.Weight) {
+			return fmt.Errorf("joint: user %d (%s) weight %g is not finite", i, u.Name, u.Weight)
+		}
+		if bad(u.MinAccuracy) || u.MinAccuracy < 0 || u.MinAccuracy > 1 {
+			return fmt.Errorf("joint: user %d (%s) accuracy floor %g is outside [0, 1]", i, u.Name, u.MinAccuracy)
+		}
+		if bad(u.TxCompression) || u.TxCompression < 0 {
+			return fmt.Errorf("joint: user %d (%s) tx compression %g is not a non-negative finite number", i, u.Name, u.TxCompression)
 		}
 	}
 	for i, s := range sc.Servers {
@@ -108,12 +129,24 @@ func (sc *Scenario) Validate() error {
 		if !s.Profile.Class.IsServer() {
 			return fmt.Errorf("joint: server %d (%s) uses non-server profile %s", i, s.Name, s.Profile.Name)
 		}
+		if bad(s.Profile.PeakFLOPS) || s.Profile.PeakFLOPS <= 0 {
+			return fmt.Errorf("joint: server %d (%s) capacity %g FLOPS is not a positive finite number", i, s.Name, s.Profile.PeakFLOPS)
+		}
 		if s.Link == nil {
 			return fmt.Errorf("joint: server %d (%s) missing link", i, s.Name)
+		}
+		if r := sc.meanUplink(i); bad(r) || r <= 0 {
+			return fmt.Errorf("joint: server %d (%s) mean uplink %g bps is not a positive finite number", i, s.Name, r)
+		}
+		if bad(s.RTT) || s.RTT < 0 {
+			return fmt.Errorf("joint: server %d (%s) RTT %g is not a non-negative finite number", i, s.Name, s.RTT)
 		}
 	}
 	return nil
 }
+
+// bad reports a NaN or ±Inf field value.
+func bad(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
 
 func (sc *Scenario) horizon() float64 {
 	if sc.PlanningHorizon > 0 {

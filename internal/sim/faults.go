@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"math"
+
+	"edgesurgeon/internal/faults"
+	"edgesurgeon/internal/netmodel"
+)
+
+// FailCause labels why a task failed.
+type FailCause string
+
+const (
+	// CauseNone marks a successful task.
+	CauseNone FailCause = ""
+	// CauseServerCrash marks a task whose server-compute retries were
+	// exhausted by crash windows.
+	CauseServerCrash FailCause = "server-crash"
+	// CauseLinkOutage marks a task whose uplink retransmissions were
+	// exhausted by outage windows.
+	CauseLinkOutage FailCause = "link-outage"
+	// CauseTimeout marks a task that exceeded its per-task budget
+	// (RetryPolicy.TaskTimeout) before completing.
+	CauseTimeout FailCause = "timeout"
+)
+
+// RetryPolicy bounds how much time a fault may cost one task: each fault-
+// interrupted stage is retried with exponential backoff up to MaxAttempts,
+// and the whole task is abandoned TaskTimeout seconds after arrival. The
+// zero value means 3 attempts, 50 ms initial backoff doubling per retry,
+// and no task timeout.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries for one stage (1 = no
+	// retries); 0 means 3.
+	MaxAttempts int
+	// Backoff is the delay before the first retry in seconds; 0 means
+	// 0.05.
+	Backoff float64
+	// BackoffFactor multiplies the delay per subsequent retry; 0 means 2.
+	BackoffFactor float64
+	// TaskTimeout is the per-task wall budget in seconds measured from
+	// arrival; a task still unfinished at arrival+TaskTimeout fails with
+	// CauseTimeout. 0 disables the timeout.
+	TaskTimeout float64
+}
+
+func (p RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts <= 0 {
+		return 3
+	}
+	return p.MaxAttempts
+}
+
+// backoff returns the delay before retry number `retry` (1-based).
+func (p RetryPolicy) backoff(retry int) float64 {
+	base := p.Backoff
+	if base <= 0 {
+		base = 0.05
+	}
+	factor := p.BackoffFactor
+	if factor <= 0 {
+		factor = 2
+	}
+	d := base
+	for i := 1; i < retry; i++ {
+		d *= factor
+	}
+	return d
+}
+
+// timeoutAt returns the absolute abandon time for a task arriving at t.
+func (p RetryPolicy) timeoutAt(arrival float64) float64 {
+	if p.TaskTimeout <= 0 {
+		return math.Inf(1)
+	}
+	return arrival + p.TaskTimeout
+}
+
+// computeStage returns how long a server-compute job submitted at start
+// occupies its lane under the fault schedule, and why it failed (CauseNone
+// on success). workSec is the service demand in lane-seconds (the caller
+// has already divided by the user's share where applicable). Crash windows
+// lose all progress — the job restarts after recovery plus backoff, up to
+// the policy's attempt budget — while brown-outs merely stretch service.
+// On failure the returned duration runs to the abort instant, so the lane
+// stays occupied exactly as long as the doomed job really held it.
+func computeStage(f *faults.Schedule, server int, start, workSec float64, pol RetryPolicy, timeoutAt float64) (float64, FailCause) {
+	if start >= timeoutAt {
+		return 0, CauseTimeout
+	}
+	attempt := 1
+	t := start
+	for {
+		if !f.ServerUp(server, t) {
+			rec := f.ServerRecovery(server, t)
+			if rec >= timeoutAt {
+				return timeoutAt - start, CauseTimeout
+			}
+			t = rec
+		}
+		remaining := workSec
+		crashed := false
+		for {
+			factor := f.CapacityFactor(server, t)
+			boundary := f.NextComputeChange(server, t)
+			// Same association order as the no-fault path ((t-start) first)
+			// so a schedule that never strikes reproduces it bit-for-bit.
+			if factor > 0 && t+remaining/factor <= math.Min(boundary, timeoutAt) {
+				return t - start + remaining/factor, CauseNone
+			}
+			if boundary >= timeoutAt {
+				return timeoutAt - start, CauseTimeout
+			}
+			if factor > 0 {
+				remaining -= (boundary - t) * factor
+			}
+			t = boundary
+			if !f.ServerUp(server, t) {
+				crashed = true
+				break
+			}
+			// Brown-out edge: capacity changed, progress kept.
+		}
+		if crashed {
+			attempt++
+			if attempt > pol.maxAttempts() {
+				return t - start, CauseServerCrash
+			}
+			rec := f.ServerRecovery(server, t) + pol.backoff(attempt-1)
+			if rec >= timeoutAt {
+				return timeoutAt - start, CauseTimeout
+			}
+			t = rec
+		}
+	}
+}
+
+// txStage returns how long an uplink transfer submitted at start occupies
+// its lane under the fault schedule, and why it failed. It integrates the
+// (possibly time-varying) link rate exactly, like netmodel.TransferTime,
+// but an outage beginning mid-transfer aborts the attempt — progress is
+// lost and the transfer restarts from scratch after restoration plus
+// backoff. One RTT of protocol latency is charged on the successful
+// attempt.
+func txStage(f *faults.Schedule, server int, link netmodel.Link, bytes int64, start, share float64, pol RetryPolicy, timeoutAt float64) (float64, FailCause) {
+	if start >= timeoutAt {
+		return 0, CauseTimeout
+	}
+	if share > 1 {
+		share = 1
+	}
+	attempt := 1
+	t := start
+	for {
+		if !f.LinkUp(server, t) {
+			res := f.LinkRestore(server, t)
+			if res >= timeoutAt {
+				return timeoutAt - start, CauseTimeout
+			}
+			t = res
+		}
+		remaining := float64(bytes) * 8 // bits
+		dropped := false
+		for {
+			rate := link.RateAt(t) * share
+			boundary := math.Min(link.NextChange(t), f.NextLinkChange(server, t))
+			// Association order matches netmodel.TransferTime so a schedule
+			// that never strikes reproduces it bit-for-bit.
+			if rate > 0 && t+remaining/rate <= math.Min(boundary, timeoutAt) {
+				d := t - start + remaining/rate + link.RTT()
+				if start+d >= timeoutAt {
+					return timeoutAt - start, CauseTimeout
+				}
+				return d, CauseNone
+			}
+			if boundary >= timeoutAt {
+				return timeoutAt - start, CauseTimeout
+			}
+			if rate > 0 {
+				remaining -= rate * (boundary - t)
+			}
+			t = boundary
+			if !f.LinkUp(server, t) {
+				dropped = true
+				break
+			}
+			// Link-rate segment edge: progress kept.
+		}
+		if dropped {
+			attempt++
+			if attempt > pol.maxAttempts() {
+				return t - start, CauseLinkOutage
+			}
+			res := f.LinkRestore(server, t) + pol.backoff(attempt-1)
+			if res >= timeoutAt {
+				return timeoutAt - start, CauseTimeout
+			}
+			t = res
+		}
+	}
+}

@@ -2,7 +2,9 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
+	"edgesurgeon/internal/faults"
 	"edgesurgeon/internal/hardware"
 	"edgesurgeon/internal/netmodel"
 	"edgesurgeon/internal/stats"
@@ -63,6 +65,15 @@ type Config struct {
 	Horizon float64
 	// Warmup discards tasks arriving before this time from statistics.
 	Warmup float64
+	// Faults injects server crashes, link outages and brown-outs into the
+	// task lifecycle (nil = nothing fails). Not supported under
+	// ProcessorSharing, whose fluid stations have no capacity-over-time
+	// hook.
+	Faults *faults.Schedule
+	// Retry bounds how much time faults may cost a task (retries with
+	// backoff, per-task timeout). Consulted whenever Faults is set or
+	// Retry.TaskTimeout is positive.
+	Retry RetryPolicy
 }
 
 // TaskRecord is the per-task outcome.
@@ -85,9 +96,17 @@ type TaskRecord struct {
 	// EnergyJ is the device-side energy spent on this task (active compute
 	// plus radio airtime).
 	EnergyJ float64
+	// Failed marks a task aborted by faults (retries exhausted or task
+	// timeout exceeded); Finish is then the abort instant and Met is
+	// false.
+	Failed bool
+	// Cause labels why the task failed (CauseNone for successes).
+	Cause FailCause
 }
 
-// UserStats aggregates one user's outcomes.
+// UserStats aggregates one user's outcomes. Failed tasks count in the
+// Failures and Deadline meters but are excluded from the Latency, Accuracy
+// and Energy aggregates (their values are censored, not observed).
 type UserStats struct {
 	Latency  stats.Series
 	Deadline stats.Meter
@@ -95,6 +114,7 @@ type UserStats struct {
 	Accuracy stats.Stream
 	Crossed  stats.Meter
 	Energy   stats.Stream
+	Failures stats.Meter
 }
 
 // Result is the full simulation outcome.
@@ -107,16 +127,20 @@ type Result struct {
 	ServerUtil []float64
 }
 
-// Latencies returns the pooled latency series across all users.
+// Latencies returns the pooled latency series across all users (failed
+// tasks excluded: their latency is censored at the abort instant).
 func (r *Result) Latencies() *stats.Series {
 	var s stats.Series
 	for i := range r.Records {
-		s.Add(r.Records[i].Latency)
+		if !r.Records[i].Failed {
+			s.Add(r.Records[i].Latency)
+		}
 	}
 	return &s
 }
 
-// DeadlineRate returns the pooled deadline satisfaction rate.
+// DeadlineRate returns the pooled deadline satisfaction rate; failed tasks
+// with deadlines count as misses.
 func (r *Result) DeadlineRate() float64 {
 	var m stats.Meter
 	for i := range r.Records {
@@ -125,6 +149,29 @@ func (r *Result) DeadlineRate() float64 {
 		}
 	}
 	return m.Rate()
+}
+
+// FailureRate returns the fraction of recorded tasks that failed.
+func (r *Result) FailureRate() float64 {
+	var m stats.Meter
+	for i := range r.Records {
+		m.Observe(r.Records[i].Failed)
+	}
+	if len(r.Records) == 0 {
+		return 0
+	}
+	return m.Rate()
+}
+
+// FailuresByCause tallies failed tasks by cause.
+func (r *Result) FailuresByCause() map[FailCause]int {
+	out := make(map[FailCause]int)
+	for i := range r.Records {
+		if r.Records[i].Failed {
+			out[r.Records[i].Cause]++
+		}
+	}
+	return out
 }
 
 // MeanAccuracy returns the pooled expected-correctness mean.
@@ -256,6 +303,12 @@ func pickExit(choices []exitChoice, difficulty float64) *exitChoice {
 // Run executes the scenario and returns per-task records and aggregates.
 func Run(cfg Config) (*Result, error) {
 	eng := &Engine{}
+	if cfg.Faults != nil && !cfg.Faults.Empty() && cfg.Discipline == ProcessorSharing {
+		return nil, fmt.Errorf("sim: fault injection is not supported under ProcessorSharing")
+	}
+	// Fault handling engages when a schedule is present or a task timeout
+	// is set; otherwise the historical no-fault fast path runs untouched.
+	faulty := (cfg.Faults != nil && !cfg.Faults.Empty()) || cfg.Retry.TaskTimeout > 0
 
 	// Build stations.
 	type serverRT struct {
@@ -346,6 +399,30 @@ func Run(cfg Config) (*Result, error) {
 		us.Accuracy.Add(choice.acc)
 		us.Crossed.Observe(choice.crossed)
 		us.Energy.Add(rec.EnergyJ)
+		us.Failures.Observe(false)
+	}
+
+	// failTask records a fault-aborted task: a deadline miss (when the
+	// task carries a deadline) with the abort instant as its finish, kept
+	// out of the latency/accuracy/energy aggregates whose values it never
+	// produced.
+	failTask := func(ui int, task workload.Task, choice *exitChoice, abort float64, cause FailCause) {
+		if task.Arrival < cfg.Warmup {
+			return
+		}
+		rec := TaskRecord{
+			User: ui, Arrival: task.Arrival, Finish: abort, Latency: abort - task.Arrival,
+			Deadline: task.Deadline, Met: false,
+			ExitCut: choice.cut, Crossed: choice.crossed,
+			Failed: true, Cause: cause,
+		}
+		records = append(records, rec)
+		us := res.PerUser[ui]
+		if task.Deadline > 0 {
+			us.Deadline.Observe(false)
+		}
+		us.Crossed.Observe(choice.crossed)
+		us.Failures.Observe(true)
 	}
 
 	for ui := range cfg.Users {
@@ -373,15 +450,38 @@ func Run(cfg Config) (*Result, error) {
 						}
 						bytes := choice.txBytes
 						link := rt.link
+						timeoutAt := math.Inf(1)
+						if faulty {
+							timeoutAt = cfg.Retry.timeoutAt(task.Arrival)
+						}
+						// Stage-failure causes travel from the duration
+						// computation to the completion callback through
+						// these captures; the event loop is single-threaded
+						// and each submission owns its closure, so the
+						// hand-off is race-free.
+						var txCause, srvCause FailCause
 						txStation.Submit(
 							func(start float64) float64 {
-								return netmodel.TransferTime(link, bytes, start, share)
+								if !faulty {
+									return netmodel.TransferTime(link, bytes, start, share)
+								}
+								var d float64
+								d, txCause = txStage(cfg.Faults, rt.server, link, bytes, start, share, cfg.Retry, timeoutAt)
+								return d
 							},
 							func(txStart, txFinish float64) {
+								if txCause != CauseNone {
+									failTask(ui, task, choice, txFinish, txCause)
+									return
+								}
 								txWait := txStart - devFinish
 								txSec := txFinish - txStart
 								// Server stage.
 								serverDone := func(srvStart, srvFinish float64) {
+									if srvCause != CauseNone {
+										failTask(ui, task, choice, srvFinish, srvCause)
+										return
+									}
 									srvWait := srvStart - txFinish
 									srvSec := srvFinish - srvStart
 									if srvWait < 0 {
@@ -396,13 +496,27 @@ func Run(cfg Config) (*Result, error) {
 								case DedicatedShares:
 									srvDur := choice.srvSec / rt.cShare
 									rt.compute.Submit(
-										func(float64) float64 { return srvDur },
+										func(start float64) float64 {
+											if !faulty {
+												return srvDur
+											}
+											var d float64
+											d, srvCause = computeStage(cfg.Faults, rt.server, start, srvDur, cfg.Retry, timeoutAt)
+											return d
+										},
 										serverDone)
 								case ProcessorSharing:
 									servers[rt.server].ps.Submit(choice.srvSec, serverDone)
 								default: // SharedFCFS
 									servers[rt.server].shared.Submit(
-										func(float64) float64 { return choice.srvSec },
+										func(start float64) float64 {
+											if !faulty {
+												return choice.srvSec
+											}
+											var d float64
+											d, srvCause = computeStage(cfg.Faults, rt.server, start, choice.srvSec, cfg.Retry, timeoutAt)
+											return d
+										},
 										serverDone)
 								}
 							})

@@ -224,6 +224,12 @@ func (m *Meter) Rate() float64 {
 	return float64(m.hits) / float64(m.total)
 }
 
+// Merge folds another meter's observations into m.
+func (m *Meter) Merge(o Meter) {
+	m.hits += o.hits
+	m.total += o.total
+}
+
 // Hits returns the number of positive outcomes.
 func (m *Meter) Hits() int64 { return m.hits }
 
