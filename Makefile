@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race fuzz-smoke bench experiments examples cover clean
+.PHONY: all build vet test test-short test-race fuzz-smoke bench bench-smoke experiments examples cover clean
 
 all: build vet test
 
@@ -18,10 +18,13 @@ test: vet
 test-short:
 	$(GO) test -short ./...
 
-# Race-check the concurrent planner paths (parallel surgery fan-out,
-# shared memoization cache, candidate-move evaluation).
+# Race-check the concurrent paths: planner (parallel surgery fan-out,
+# shared memoization cache, candidate-move evaluation), the sharded
+# simulator (component worker pool + differential equivalence tests), and
+# a small E21 scale run through the experiments arm pool.
 test-race:
-	$(GO) test -race ./internal/joint/... ./internal/surgery/...
+	$(GO) test -race ./internal/joint/... ./internal/surgery/... ./internal/sim/...
+	$(GO) test -race -run 'TestE21SmallScaleAgrees' ./internal/experiments
 
 # Short fuzzing pass over the optimizer kernels (~10 s per target): the
 # surgery optimizer must never panic or emit invalid plans, and the
@@ -30,9 +33,14 @@ fuzz-smoke:
 	$(GO) test ./internal/surgery -run '^$$' -fuzz FuzzSurgeryOptimize -fuzztime 10s
 	$(GO) test ./internal/alloc -run '^$$' -fuzz FuzzAllocDeadline -fuzztime 10s
 
-# One benchmark per evaluation artifact (E1-E20) plus kernel microbenchmarks.
+# One benchmark per evaluation artifact (E1-E21) plus kernel microbenchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Fast perf guard for CI: one iteration of the simulator event-loop and
+# multi-user scaling benchmarks with allocation accounting.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineEvents|BenchmarkE4' -benchtime=1x -benchmem . ./internal/sim
 
 # Regenerate every table and figure of the reconstructed evaluation.
 experiments:

@@ -1,5 +1,5 @@
 // Benchmarks regenerating every evaluation artifact (one benchmark per
-// table/figure, BenchmarkE1..BenchmarkE13) plus microbenchmarks for the
+// table/figure, BenchmarkE1..BenchmarkE21) plus microbenchmarks for the
 // performance-critical kernels: the surgery DP, the allocation water-fill,
 // the simulator event loop and the nn matmul.
 //
@@ -104,6 +104,9 @@ func BenchmarkE19SaturationThroughput(b *testing.B) { benchExperiment(b, "E19") 
 
 // Figure 18 (extension): availability under server/link failures.
 func BenchmarkE20AvailabilityUnderFailures(b *testing.B) { benchExperiment(b, "E20") }
+
+// Scale study (extension): sharded-simulator throughput at 10k-100k users.
+func BenchmarkE21ScaleThroughput(b *testing.B) { benchExperiment(b, "E21") }
 
 // --- microbenchmarks -----------------------------------------------------
 

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"edgesurgeon/internal/config"
 	"edgesurgeon/internal/joint"
@@ -50,6 +51,9 @@ func main() {
 		verbose      = flag.Bool("v", false, "print per-user decisions")
 		discipline   = flag.String("discipline", "shares", "service discipline: shares | fcfs | ps")
 		tracePath    = flag.String("trace", "", "write per-task records (JSON lines) to this file")
+		parallelism  = flag.Int("parallelism", 0, "simulation worker count (0 = GOMAXPROCS, 1 = sequential)")
+		keepRecords  = flag.Bool("keep-records", true, "retain per-task records; disable for very large -users runs")
+		users        = flag.Int("users", 0, "scale the scenario to this many users by cycling its user list (0 = as written)")
 	)
 	flag.Parse()
 
@@ -82,27 +86,44 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *users > 0 {
+		scaleUsers(sc, *users)
+	}
+	if *tracePath != "" && !*keepRecords {
+		fmt.Fprintln(os.Stderr, "edgesim: -trace requires -keep-records=true")
+		os.Exit(2)
+	}
 
 	names := []string{*strategy}
 	if *compare {
 		names = config.StrategyNames()
 	}
-	t := stats.NewTable("Results over "+fmt.Sprintf("%.0fs (%s)", horizon, *discipline),
-		"strategy", "objective", "feasible", "mean(ms)", "p50(ms)", "p95(ms)", "p99(ms)", "deadline-rate", "mean-acc", "energy(J/task)")
+	t := stats.NewTable("Results over "+fmt.Sprintf("%.0fs (%s, %d users)", horizon, *discipline, len(sc.Users)),
+		"strategy", "objective", "feasible", "mean(ms)", "p50(ms)", "p95(ms)", "p99(ms)", "deadline-rate", "mean-acc", "energy(J/task)", "events/sec")
 	for _, name := range names {
 		s, err := config.Strategy(name)
 		if err != nil {
 			fatal(err)
 		}
-		plan, res, err := joint.PlanAndSimulate(sc, s, horizon, disc)
+		plan, err := s.Plan(sc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "edgesim: %s: %v\n", name, err)
 			continue
 		}
+		cfg := joint.BuildSimConfig(sc, plan, horizon, disc)
+		cfg.Parallelism = *parallelism
+		cfg.KeepRecords = *keepRecords
+		t0 := time.Now()
+		res, err := sim.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edgesim: %s: %v\n", name, err)
+			continue
+		}
+		eps := float64(res.Events) / time.Since(t0).Seconds()
 		lat := res.Latencies()
 		t.AddRow(name, plan.Objective, plan.Feasible,
 			lat.Mean()*1000, lat.P50()*1000, lat.P95()*1000, lat.P99()*1000,
-			res.DeadlineRate(), res.MeanAccuracy(), res.MeanDeviceEnergy())
+			res.DeadlineRate(), res.MeanAccuracy(), res.MeanDeviceEnergy(), eps)
 		if *tracePath != "" && !*compare {
 			if err := writeTrace(*tracePath, res); err != nil {
 				fatal(err)
@@ -119,6 +140,23 @@ func main() {
 	}
 	if err := t.Render(os.Stdout); err != nil {
 		fatal(err)
+	}
+}
+
+// scaleUsers grows (or shrinks) the scenario's population to n by cycling
+// the parsed user list with fresh names and seeds, so a small JSON scenario
+// reproduces the E21-style heavy-traffic regime from the CLI.
+func scaleUsers(sc *joint.Scenario, n int) {
+	base := len(sc.Users)
+	if base == 0 || n <= base {
+		sc.Users = sc.Users[:n]
+		return
+	}
+	for i := base; i < n; i++ {
+		u := sc.Users[i%base]
+		u.Name = fmt.Sprintf("%s+%d", u.Name, i/base)
+		u.Seed += int64(7919 * (i / base))
+		sc.Users = append(sc.Users, u)
 	}
 }
 

@@ -7,9 +7,11 @@
 //	experiments -run E3,E10     # run a subset
 //	experiments -list           # list experiments
 //	experiments -csv dir        # also export every table as CSV into dir
+//	experiments -run E21 -bench-json BENCH_sim.json   # perf trajectory
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,9 +24,10 @@ import (
 
 func main() {
 	var (
-		runList = flag.String("run", "", "comma-separated experiment IDs (default: all)")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
-		csvDir  = flag.String("csv", "", "directory to export tables as CSV")
+		runList   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		list      = flag.Bool("list", false, "list experiment IDs and exit")
+		csvDir    = flag.String("csv", "", "directory to export tables as CSV")
+		benchJSON = flag.String("bench-json", "", "write machine-readable metrics (events/sec, speedups, allocs) of the experiments that report them to this JSON file")
 	)
 	flag.Parse()
 
@@ -40,6 +43,7 @@ func main() {
 	if *runList != "" {
 		ids = strings.Split(*runList, ",")
 	}
+	metrics := map[string]map[string]float64{}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		runner, ok := reg[id]
@@ -61,7 +65,26 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		if len(rep.Metrics) > 0 {
+			metrics[rep.ID] = rep.Metrics
+		}
 	}
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "bench json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeBenchJSON records the perf-trajectory scalars (E21's events/sec,
+// speedup, allocs/event, cores) keyed by experiment ID.
+func writeBenchJSON(path string, metrics map[string]map[string]float64) error {
+	data, err := json.MarshalIndent(metrics, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func exportCSV(dir string, rep *experiments.Report) error {

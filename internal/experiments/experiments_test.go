@@ -7,10 +7,10 @@ import (
 
 func TestRegistryCompleteAndOrdered(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 20 {
-		t.Fatalf("got %d experiments, want 20: %v", len(ids), ids)
+	if len(ids) != 21 {
+		t.Fatalf("got %d experiments, want 21: %v", len(ids), ids)
 	}
-	if ids[0] != "E1" || ids[19] != "E20" {
+	if ids[0] != "E1" || ids[20] != "E21" {
 		t.Fatalf("bad ordering: %v", ids)
 	}
 	reg := Registry()
@@ -171,4 +171,31 @@ func TestE15CompressionHelpsAtLowBandwidth(t *testing.T) {
 
 func TestE16ProbeEscapesEquilibrium(t *testing.T) {
 	runReport(t, "E16") // the runner itself fails the shape via WARNING notes
+}
+
+// TestE21SmallScaleAgrees runs a shrunken E21 (the full one sweeps 100k
+// users): the runner's internal sequential-vs-sharded comparison emits a
+// WARNING note on any divergence, which this test turns into a failure.
+// make test-race runs this under the race detector.
+func TestE21SmallScaleAgrees(t *testing.T) {
+	r, err := e21Scale([]int{64, 256}, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "E21" {
+		t.Errorf("report ID %q", r.ID)
+	}
+	for _, n := range r.Notes {
+		if strings.Contains(n, "WARNING") {
+			t.Errorf("shape violation: %s", n)
+		}
+	}
+	if len(r.Tables[0].Rows) != 4 {
+		t.Errorf("rows = %d, want 4", len(r.Tables[0].Rows))
+	}
+	for _, k := range []string{"events_per_sec", "speedup_vs_sequential", "allocs_per_event", "cores"} {
+		if _, ok := r.Metrics[k]; !ok {
+			t.Errorf("metric %q missing", k)
+		}
+	}
 }

@@ -8,7 +8,10 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"edgesurgeon/internal/baseline"
 	"edgesurgeon/internal/dnn"
@@ -31,10 +34,20 @@ type Report struct {
 	Tables []*stats.Table
 	// Notes records the measured shape (who wins, crossovers, factors).
 	Notes []string
+	// Metrics carries machine-readable scalars (throughput, speedups) for
+	// perf-trajectory artifacts such as BENCH_sim.json.
+	Metrics map[string]float64
 }
 
 func (r *Report) note(format string, args ...any) {
 	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+func (r *Report) metric(name string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	r.Metrics[name] = v
 }
 
 // String renders the full report as text.
@@ -75,6 +88,7 @@ func Registry() map[string]Runner {
 		"E18": E18DisciplineSensitivity,
 		"E19": E19SaturationThroughput,
 		"E20": E20AvailabilityUnderFailures,
+		"E21": E21ScaleThroughput,
 	}
 }
 
@@ -105,6 +119,52 @@ func RunAll() ([]*Report, error) {
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// forEachArm runs f(0..n-1) on a worker pool bounded by GOMAXPROCS and
+// returns the first error. Arms of one figure are independent (each builds
+// its own scenario and strategy), so sweeps parallelize freely; each arm's
+// result must land in its own pre-allocated slot.
+func forEachArm(n int, f func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next  atomic.Int64
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := f(i); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
 }
 
 // --- shared scenario builders -------------------------------------------

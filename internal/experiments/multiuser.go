@@ -27,22 +27,38 @@ func E4UserScaling() (*Report, error) {
 	t := stats.NewTable("Simulated latency vs user count", headers...)
 
 	counts := []int{1, 2, 4, 8, 16, 32}
+	// Every (count, strategy) arm is independent: plan and simulate them
+	// concurrently (each arm builds its own scenario and strategy), then
+	// assemble rows in order.
+	nStrat := len(strategies)
+	type cell struct{ mean, p95 float64 }
+	cells := make([]cell, len(counts)*nStrat)
+	err := forEachArm(len(cells), func(k int) error {
+		ci, si := k/nStrat, k%nStrat
+		sc := mixedScenario(counts[ci], 1.5, 0, 60)
+		s := strategiesUnderTest()[si]
+		_, res, err := joint.PlanAndSimulate(sc, s, simHorizon, sim.DedicatedShares)
+		if err != nil {
+			return fmt.Errorf("%s at n=%d: %w", s.Name(), counts[ci], err)
+		}
+		lat := res.Latencies()
+		cells[k] = cell{mean: lat.Mean(), p95: lat.P95()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var gapAt1, gapAtMax float64
-	for _, n := range counts {
-		sc := mixedScenario(n, 1.5, 0, 60)
+	for ci, n := range counts {
 		row := []any{n}
 		var jointMean, bestBaseMean float64
-		for si, s := range strategies {
-			_, res, err := joint.PlanAndSimulate(sc, s, simHorizon, sim.DedicatedShares)
-			if err != nil {
-				return nil, fmt.Errorf("%s at n=%d: %w", s.Name(), n, err)
-			}
-			lat := res.Latencies()
-			row = append(row, lat.Mean()*1000, lat.P95()*1000)
+		for si := range strategies {
+			c := cells[ci*nStrat+si]
+			row = append(row, c.mean*1000, c.p95*1000)
 			if si == 0 {
-				jointMean = lat.Mean()
-			} else if bestBaseMean == 0 || lat.Mean() < bestBaseMean {
-				bestBaseMean = lat.Mean()
+				jointMean = c.mean
+			} else if bestBaseMean == 0 || c.mean < bestBaseMean {
+				bestBaseMean = c.mean
 			}
 		}
 		t.AddRow(row...)
@@ -75,20 +91,33 @@ func E5DeadlineVsRate() (*Report, error) {
 	t := stats.NewTable("Deadline satisfaction ratio", headers...)
 
 	rates := []float64{1, 2, 4, 8, 16, 24}
+	// Arms run concurrently (see E4); the sustained-rate scan below needs
+	// the full grid anyway.
+	nStrat := len(strategies)
+	drs := make([]float64, len(rates)*nStrat)
+	err := forEachArm(len(drs), func(k int) error {
+		ri, si := k/nStrat, k%nStrat
+		sc := mixedScenario(12, rates[ri], 0.3, 100)
+		s := strategiesUnderTest()[si]
+		_, res, err := joint.PlanAndSimulate(sc, s, simHorizon, sim.DedicatedShares)
+		if err != nil {
+			return fmt.Errorf("%s at rate=%g: %w", s.Name(), rates[ri], err)
+		}
+		drs[k] = res.DeadlineRate()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	sustained := map[string]float64{}
 	alive := map[string]bool{}
 	for _, s := range strategies {
 		alive[s.Name()] = true
 	}
-	for _, rate := range rates {
-		sc := mixedScenario(12, rate, 0.3, 100)
+	for ri, rate := range rates {
 		row := []any{rate}
-		for _, s := range strategies {
-			_, res, err := joint.PlanAndSimulate(sc, s, simHorizon, sim.DedicatedShares)
-			if err != nil {
-				return nil, fmt.Errorf("%s at rate=%g: %w", s.Name(), rate, err)
-			}
-			dr := res.DeadlineRate()
+		for si, s := range strategies {
+			dr := drs[ri*nStrat+si]
 			row = append(row, dr)
 			if alive[s.Name()] && dr >= 0.9 {
 				sustained[s.Name()] = rate

@@ -68,7 +68,8 @@ func TestSimultaneousArrivalsBurst(t *testing.T) {
 		tasks[i] = workload.Task{ID: i, Arrival: 1.0, Difficulty: float64(i) / 200}
 	}
 	res, err := Run(Config{
-		Users: []UserConfig{{Plan: plan, Device: dev, Server: -1, Tasks: tasks}},
+		Users:       []UserConfig{{Plan: plan, Device: dev, Server: -1, Tasks: tasks}},
+		KeepRecords: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -92,8 +93,9 @@ func TestHorizonCutoffDropsInFlight(t *testing.T) {
 	m := dnn.VGG16() // ~5.7 s per inference on a Pi
 	tasks := []workload.Task{{ID: 0, Arrival: 0.5, Difficulty: 0.99}}
 	res, err := Run(Config{
-		Users:   []UserConfig{{Plan: surgery.LocalOnly(m), Device: dev, Server: -1, Tasks: tasks}},
-		Horizon: 1.0,
+		Users:       []UserConfig{{Plan: surgery.LocalOnly(m), Device: dev, Server: -1, Tasks: tasks}},
+		Horizon:     1.0,
+		KeepRecords: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -102,7 +104,8 @@ func TestHorizonCutoffDropsInFlight(t *testing.T) {
 		t.Fatalf("in-flight task leaked a record: %+v", res.Records)
 	}
 	full, err := Run(Config{
-		Users: []UserConfig{{Plan: surgery.LocalOnly(m), Device: dev, Server: -1, Tasks: tasks}},
+		Users:       []UserConfig{{Plan: surgery.LocalOnly(m), Device: dev, Server: -1, Tasks: tasks}},
+		KeepRecords: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -142,7 +145,8 @@ func TestWorkConservationDevice(t *testing.T) {
 	m := dnn.AlexNet()
 	tasks := workload.Spec{User: 0, Rate: 3, Arrivals: workload.Poisson, Seed: 77}.Generate(50)
 	res, err := Run(Config{
-		Users: []UserConfig{{Plan: surgery.LocalOnly(m), Device: dev, Server: -1, Tasks: tasks}},
+		Users:       []UserConfig{{Plan: surgery.LocalOnly(m), Device: dev, Server: -1, Tasks: tasks}},
+		KeepRecords: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -166,7 +170,8 @@ func TestMMPPBurstSurvival(t *testing.T) {
 		User: 0, Rate: 30, Arrivals: workload.MMPP, BurstFactor: 10, Seed: 31,
 	}.Generate(20)
 	res, err := Run(Config{
-		Users: []UserConfig{{Plan: surgery.LocalOnly(m), Device: dev, Server: -1, Tasks: tasks}},
+		Users:       []UserConfig{{Plan: surgery.LocalOnly(m), Device: dev, Server: -1, Tasks: tasks}},
+		KeepRecords: true,
 	})
 	if err != nil {
 		t.Fatal(err)

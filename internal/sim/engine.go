@@ -5,53 +5,101 @@
 // per-task latency records. Virtual time is decoupled from wall-clock time,
 // so Go's garbage collector cannot perturb measured latencies (the
 // substitute for the paper's line-rate testbed measurements).
+//
+// Scenarios decompose into independent components (each server plus its
+// assigned users; each local-only user), and Run executes components
+// concurrently on a bounded worker pool (Config.Parallelism) with a
+// deterministic merge, so the parallel result is bit-identical to the
+// sequential one. See shard.go for the decomposition argument.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
 
+// eventKind discriminates the typed event records in the engine's heap.
+// The task lifecycle schedules only typed events — no closure is allocated
+// per task or per service completion.
+type eventKind uint8
+
+const (
+	// evFunc runs a caller-supplied closure (the public At/After API).
+	evFunc eventKind = iota
+	// evArrival admits the next task of shard-local user idx.
+	evArrival
+	// evStationDone completes st's in-service job.
+	evStationDone
+	// evPSCheck re-examines ps for completions if generation idx is current.
+	evPSCheck
+)
+
+// event is one scheduled occurrence. Exactly one of fn/st/ps (or the idx
+// payload for evArrival) is meaningful, selected by kind; keeping the
+// fields inline (rather than behind an interface) avoids boxing every
+// event through `any` on push and pop.
+type event struct {
+	at   float64
+	seq  int64
+	kind eventKind
+	idx  int64 // evArrival: local user index; evPSCheck: generation
+	st   *Station
+	ps   *PSStation
+	fn   func()
+}
+
 // Engine is the virtual-time event loop. The zero value is ready to use.
+// The priority queue is a hand-rolled 4-ary min-heap of typed event
+// records: shallower than a binary heap (fewer swaps per sift) and free of
+// the container/heap interface allocations.
 type Engine struct {
 	now  float64
 	seq  int64
-	pq   eventHeap
+	pq   []event
 	nRun int64
-}
-
-type event struct {
-	at  float64
-	seq int64
-	fn  func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	// run receives typed task-lifecycle events; nil when the engine is
+	// used standalone (tests, examples) with closure events only.
+	run *shardRun
 }
 
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
+// Grow pre-sizes the event heap so the next n pushes don't reallocate.
+func (e *Engine) Grow(n int) {
+	if cap(e.pq)-len(e.pq) >= n {
+		return
+	}
+	pq := make([]event, len(e.pq), len(e.pq)+n)
+	copy(pq, e.pq)
+	e.pq = pq
+}
+
 // At schedules fn at absolute virtual time t (>= Now). Events scheduled for
 // the same instant run in scheduling order.
 func (e *Engine) At(t float64, fn func()) {
+	e.schedule(t, event{kind: evFunc, fn: fn})
+}
+
+// After schedules fn d seconds from now.
+func (e *Engine) After(d float64, fn func()) { e.At(e.now+d, fn) }
+
+// atArrival schedules the admission of shard-local user lu's next task.
+func (e *Engine) atArrival(t float64, lu int) {
+	e.schedule(t, event{kind: evArrival, idx: int64(lu)})
+}
+
+// atStationDone schedules st's in-service job completion.
+func (e *Engine) atStationDone(t float64, st *Station) {
+	e.schedule(t, event{kind: evStationDone, st: st})
+}
+
+// atPSCheck schedules a completion check on ps guarded by generation gen.
+func (e *Engine) atPSCheck(t float64, ps *PSStation, gen int64) {
+	e.schedule(t, event{kind: evPSCheck, idx: gen, ps: ps})
+}
+
+func (e *Engine) schedule(t float64, ev event) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: %g < %g", t, e.now))
 	}
@@ -59,11 +107,67 @@ func (e *Engine) At(t float64, fn func()) {
 		panic(fmt.Sprintf("sim: bad event time %g", t))
 	}
 	e.seq++
-	heap.Push(&e.pq, event{at: t, seq: e.seq, fn: fn})
+	ev.at = t
+	ev.seq = e.seq
+	e.push(ev)
 }
 
-// After schedules fn d seconds from now.
-func (e *Engine) After(d float64, fn func()) { e.At(e.now+d, fn) }
+// less orders events by (time, scheduling sequence).
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(ev event) {
+	e.pq = append(e.pq, ev)
+	i := len(e.pq) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !less(&e.pq[i], &e.pq[p]) {
+			break
+		}
+		e.pq[i], e.pq[p] = e.pq[p], e.pq[i]
+		i = p
+	}
+}
+
+func (e *Engine) pop() event {
+	top := e.pq[0]
+	n := len(e.pq) - 1
+	last := e.pq[n]
+	e.pq[n] = event{} // release fn/station references
+	e.pq = e.pq[:n]
+	if n > 0 {
+		e.pq[0] = last
+		e.siftDown()
+	}
+	return top
+}
+
+func (e *Engine) siftDown() {
+	n := len(e.pq)
+	i := 0
+	for {
+		best := i
+		c := i*4 + 1
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for ; c < end; c++ {
+			if less(&e.pq[c], &e.pq[best]) {
+				best = c
+			}
+		}
+		if best == i {
+			return
+		}
+		e.pq[i], e.pq[best] = e.pq[best], e.pq[i]
+		i = best
+	}
+}
 
 // Run executes events until the queue drains and returns the final time.
 func (e *Engine) Run() float64 { return e.RunUntil(math.Inf(1)) }
@@ -71,10 +175,21 @@ func (e *Engine) Run() float64 { return e.RunUntil(math.Inf(1)) }
 // RunUntil executes events with time <= t and returns the current time.
 func (e *Engine) RunUntil(t float64) float64 {
 	for len(e.pq) > 0 && e.pq[0].at <= t {
-		ev := heap.Pop(&e.pq).(event)
+		ev := e.pop()
 		e.now = ev.at
 		e.nRun++
-		ev.fn()
+		switch ev.kind {
+		case evFunc:
+			ev.fn()
+		case evArrival:
+			e.run.arrive(int(ev.idx))
+		case evStationDone:
+			ev.st.complete()
+		case evPSCheck:
+			if ev.idx == ev.ps.gen {
+				ev.ps.complete()
+			}
+		}
 	}
 	if t > e.now && !math.IsInf(t, 1) {
 		e.now = t
@@ -93,6 +208,10 @@ func (e *Engine) Pending() int { return len(e.pq) }
 // depend on the job's start time (which is how time-varying link rates are
 // integrated exactly). A Station with share-partitioned capacity is modeled
 // as one dedicated Station per share-holder.
+//
+// Jobs come in two flavours: typed task-lifecycle jobs (a *taskState whose
+// duration and completion are computed by the shard runner — zero
+// allocations per job) and closure jobs (the public Submit API).
 type Station struct {
 	Name string
 	eng  *Engine
@@ -100,15 +219,20 @@ type Station struct {
 	q    []stationJob
 	head int
 
+	// In-service job context, consumed by the evStationDone event.
+	cur      stationJob
+	curStart float64
+	curDur   float64
+
 	// Stats.
 	busyTime float64
 	served   int64
 }
 
 type stationJob struct {
-	submitted float64
-	dur       func(start float64) float64
-	done      func(start, finish float64)
+	task *taskState
+	dur  func(start float64) float64
+	done func(start, finish float64)
 }
 
 // NewStation builds a station attached to the engine.
@@ -116,10 +240,27 @@ func NewStation(eng *Engine, name string) *Station {
 	return &Station{Name: name, eng: eng}
 }
 
+// Reserve pre-sizes the queue so the next n submissions don't reallocate.
+func (s *Station) Reserve(n int) {
+	if cap(s.q)-len(s.q) >= n {
+		return
+	}
+	q := make([]stationJob, len(s.q), len(s.q)+n)
+	copy(q, s.q)
+	s.q = q
+}
+
 // Submit enqueues a job whose duration is dur(startTime); done fires at
 // completion with the actual start and finish times.
 func (s *Station) Submit(dur func(start float64) float64, done func(start, finish float64)) {
-	s.q = append(s.q, stationJob{submitted: s.eng.Now(), dur: dur, done: done})
+	s.q = append(s.q, stationJob{dur: dur, done: done})
+	s.tryStart()
+}
+
+// submitTask enqueues a typed task-lifecycle job; the shard runner supplies
+// duration (stageDur) and completion (stageDone).
+func (s *Station) submitTask(t *taskState) {
+	s.q = append(s.q, stationJob{task: t})
 	s.tryStart()
 }
 
@@ -131,25 +272,48 @@ func (s *Station) tryStart() {
 	s.q[s.head] = stationJob{} // release references
 	s.head++
 	if s.head > 64 && s.head*2 > len(s.q) {
-		s.q = append(s.q[:0], s.q[s.head:]...)
+		n := copy(s.q, s.q[s.head:])
+		// Zero the vacated tail so served-job references are not retained
+		// past the compaction.
+		tail := s.q[n:]
+		for i := range tail {
+			tail[i] = stationJob{}
+		}
+		s.q = s.q[:n]
 		s.head = 0
 	}
 	s.busy = true
-	start := s.eng.Now()
-	d := j.dur(start)
+	start := s.eng.now
+	var d float64
+	if j.task != nil {
+		d = s.eng.run.stageDur(j.task, start)
+	} else {
+		d = j.dur(start)
+	}
 	if d < 0 || math.IsNaN(d) {
 		panic(fmt.Sprintf("sim: station %s: bad duration %g", s.Name, d))
 	}
-	finish := start + d
-	s.eng.At(finish, func() {
-		s.busy = false
-		s.busyTime += d
-		s.served++
-		if j.done != nil {
-			j.done(start, finish)
-		}
-		s.tryStart()
-	})
+	s.cur = j
+	s.curStart = start
+	s.curDur = d
+	s.eng.atStationDone(start+d, s)
+}
+
+// complete finishes the in-service job (fired by evStationDone).
+func (s *Station) complete() {
+	j := s.cur
+	start, d := s.curStart, s.curDur
+	s.cur = stationJob{}
+	s.busy = false
+	s.busyTime += d
+	s.served++
+	finish := s.eng.now
+	if j.task != nil {
+		s.eng.run.stageDone(j.task, start, finish)
+	} else if j.done != nil {
+		j.done(start, finish)
+	}
+	s.tryStart()
 }
 
 // QueueLen returns the number of waiting jobs (excluding the one in

@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"math"
 
 	"edgesurgeon/internal/faults"
 	"edgesurgeon/internal/hardware"
@@ -51,7 +50,8 @@ type UserConfig struct {
 	// TxFactor scales cross-partition bytes (activation compression);
 	// 0 means 1 (none).
 	TxFactor float64
-	// Tasks is the user's arrival-ordered request stream.
+	// Tasks is the user's arrival-ordered request stream (must be sorted
+	// by Arrival).
 	Tasks []workload.Task
 }
 
@@ -74,6 +74,15 @@ type Config struct {
 	// backoff, per-task timeout). Consulted whenever Faults is set or
 	// Retry.TaskTimeout is positive.
 	Retry RetryPolicy
+	// Parallelism bounds how many independent components (see shard.go)
+	// are simulated concurrently: 0 means GOMAXPROCS, 1 forces fully
+	// sequential execution. The result is bit-identical either way.
+	Parallelism int
+	// KeepRecords retains the per-task Records slice. When false (the
+	// default) only the streaming aggregates (PerUser and the Result
+	// methods) are available, so heavy-traffic runs don't hold millions of
+	// TaskRecords.
+	KeepRecords bool
 }
 
 // TaskRecord is the per-task outcome.
@@ -117,24 +126,33 @@ type UserStats struct {
 	Failures stats.Meter
 }
 
-// Result is the full simulation outcome.
+// Result is the full simulation outcome. Pooled aggregates are reduced from
+// PerUser in user-index order, so they are identical whether the simulation
+// ran sequentially or sharded.
 type Result struct {
+	// Records holds every recorded task, grouped by user index and in
+	// completion order within each user. Nil unless Config.KeepRecords.
 	Records []TaskRecord
 	PerUser []*UserStats
 	Horizon float64
 	Events  int64
 	// ServerUtil[i] is server i's compute utilization over the horizon.
 	ServerUtil []float64
+
+	byCause map[FailCause]int
 }
 
 // Latencies returns the pooled latency series across all users (failed
 // tasks excluded: their latency is censored at the abort instant).
 func (r *Result) Latencies() *stats.Series {
 	var s stats.Series
-	for i := range r.Records {
-		if !r.Records[i].Failed {
-			s.Add(r.Records[i].Latency)
-		}
+	n := 0
+	for _, us := range r.PerUser {
+		n += us.Latency.Count()
+	}
+	s.Grow(n)
+	for _, us := range r.PerUser {
+		s.Merge(&us.Latency)
 	}
 	return &s
 }
@@ -143,10 +161,8 @@ func (r *Result) Latencies() *stats.Series {
 // with deadlines count as misses.
 func (r *Result) DeadlineRate() float64 {
 	var m stats.Meter
-	for i := range r.Records {
-		if r.Records[i].Deadline > 0 {
-			m.Observe(r.Records[i].Met)
-		}
+	for _, us := range r.PerUser {
+		m.Merge(us.Deadline)
 	}
 	return m.Rate()
 }
@@ -154,10 +170,10 @@ func (r *Result) DeadlineRate() float64 {
 // FailureRate returns the fraction of recorded tasks that failed.
 func (r *Result) FailureRate() float64 {
 	var m stats.Meter
-	for i := range r.Records {
-		m.Observe(r.Records[i].Failed)
+	for _, us := range r.PerUser {
+		m.Merge(us.Failures)
 	}
-	if len(r.Records) == 0 {
+	if m.Total() == 0 {
 		return 0
 	}
 	return m.Rate()
@@ -165,29 +181,29 @@ func (r *Result) FailureRate() float64 {
 
 // FailuresByCause tallies failed tasks by cause.
 func (r *Result) FailuresByCause() map[FailCause]int {
-	out := make(map[FailCause]int)
-	for i := range r.Records {
-		if r.Records[i].Failed {
-			out[r.Records[i].Cause]++
-		}
+	out := make(map[FailCause]int, len(r.byCause))
+	for c, n := range r.byCause {
+		out[c] = n
 	}
 	return out
 }
 
-// MeanAccuracy returns the pooled expected-correctness mean.
+// MeanAccuracy returns the pooled expected-correctness mean over completed
+// tasks (failed tasks are censored, matching the UserStats contract).
 func (r *Result) MeanAccuracy() float64 {
 	var s stats.Stream
-	for i := range r.Records {
-		s.Add(r.Records[i].Accuracy)
+	for _, us := range r.PerUser {
+		s.Merge(us.Accuracy)
 	}
 	return s.Mean()
 }
 
-// MeanDeviceEnergy returns the pooled per-task device energy in joules.
+// MeanDeviceEnergy returns the pooled per-task device energy in joules over
+// completed tasks (failed tasks are censored).
 func (r *Result) MeanDeviceEnergy() float64 {
 	var s stats.Stream
-	for i := range r.Records {
-		s.Add(r.Records[i].EnergyJ)
+	for _, us := range r.PerUser {
+		s.Merge(us.Energy)
 	}
 	return s.Mean()
 }
@@ -300,53 +316,21 @@ func pickExit(choices []exitChoice, difficulty float64) *exitChoice {
 	return &choices[len(choices)-1]
 }
 
-// Run executes the scenario and returns per-task records and aggregates.
+// Run executes the scenario and returns streaming aggregates (plus per-task
+// records when Config.KeepRecords is set). The scenario is decomposed into
+// independent components simulated concurrently up to Config.Parallelism;
+// the merged result is bit-identical to a sequential run.
 func Run(cfg Config) (*Result, error) {
-	eng := &Engine{}
 	if cfg.Faults != nil && !cfg.Faults.Empty() && cfg.Discipline == ProcessorSharing {
 		return nil, fmt.Errorf("sim: fault injection is not supported under ProcessorSharing")
 	}
-	// Fault handling engages when a schedule is present or a task timeout
-	// is set; otherwise the historical no-fault fast path runs untouched.
-	faulty := (cfg.Faults != nil && !cfg.Faults.Empty()) || cfg.Retry.TaskTimeout > 0
-
-	// Build stations.
-	type serverRT struct {
-		shared   *Station   // SharedFCFS compute
-		sharedTx *Station   // shared uplink (SharedFCFS and ProcessorSharing)
-		ps       *PSStation // ProcessorSharing compute
-	}
-	servers := make([]serverRT, len(cfg.Servers))
-	for i := range cfg.Servers {
-		switch cfg.Discipline {
-		case SharedFCFS:
-			servers[i].shared = NewStation(eng, fmt.Sprintf("srv%d", i))
-			servers[i].sharedTx = NewStation(eng, fmt.Sprintf("srv%d.uplink", i))
-		case ProcessorSharing:
-			servers[i].ps = NewPSStation(eng, fmt.Sprintf("srv%d", i))
-			servers[i].sharedTx = NewStation(eng, fmt.Sprintf("srv%d.uplink", i))
-		}
-	}
-
-	res := &Result{PerUser: make([]*UserStats, len(cfg.Users))}
-
-	type userRT struct {
-		choices []exitChoice
-		device  *Station
-		tx      *Station // dedicated lane (nil under SharedFCFS)
-		compute *Station // dedicated lane (nil under SharedFCFS)
-		link    netmodel.Link
-		cShare  float64
-		bShare  float64
-		server  int
-	}
-	users := make([]userRT, len(cfg.Users))
+	choices := make([][]exitChoice, len(cfg.Users))
 	for ui := range cfg.Users {
 		u := cfg.Users[ui]
 		if u.Server >= len(cfg.Servers) {
 			return nil, fmt.Errorf("sim: user %d assigned to unknown server %d", ui, u.Server)
 		}
-		choices, err := compileChoices(u)
+		ch, err := compileChoices(u)
 		if err != nil {
 			return nil, fmt.Errorf("sim: user %d: %w", ui, err)
 		}
@@ -354,208 +338,20 @@ func Run(cfg Config) (*Result, error) {
 		if u.Server >= 0 {
 			srvProfile = cfg.Servers[u.Server].Profile
 		}
-		fillServerTimes(u, srvProfile, choices)
-
-		rt := userRT{choices: choices, server: u.Server, cShare: u.ComputeShare, bShare: u.BandwidthShare}
-		rt.device = NewStation(eng, fmt.Sprintf("u%d.dev", ui))
-		if u.Server >= 0 {
-			rt.link = cfg.Servers[u.Server].Link
-			if cfg.Discipline == DedicatedShares {
-				if u.ComputeShare <= 0 || u.BandwidthShare <= 0 {
-					return nil, fmt.Errorf("sim: user %d has non-positive shares under DedicatedShares", ui)
-				}
-				rt.tx = NewStation(eng, fmt.Sprintf("u%d.tx", ui))
-				rt.compute = NewStation(eng, fmt.Sprintf("u%d.srv", ui))
+		fillServerTimes(u, srvProfile, ch)
+		if u.Server >= 0 && cfg.Discipline == DedicatedShares {
+			if u.ComputeShare <= 0 || u.BandwidthShare <= 0 {
+				return nil, fmt.Errorf("sim: user %d has non-positive shares under DedicatedShares", ui)
 			}
 		}
-		users[ui] = rt
-		res.PerUser[ui] = &UserStats{ExitHist: make(map[int]int)}
-	}
-
-	var records []TaskRecord
-
-	finishTask := func(ui int, task workload.Task, choice *exitChoice, finish float64, devWait, devSec, txWait, txSec, srvWait, srvSec float64) {
-		if task.Arrival < cfg.Warmup {
-			return
-		}
-		lat := finish - task.Arrival
-		dev := cfg.Users[ui].Device
-		rec := TaskRecord{
-			User: ui, Arrival: task.Arrival, Finish: finish, Latency: lat,
-			Deadline: task.Deadline, Met: task.Deadline <= 0 || lat <= task.Deadline,
-			ExitCut: choice.cut, Crossed: choice.crossed, Accuracy: choice.acc,
-			DeviceWait: devWait, DeviceSec: devSec,
-			TxWait: txWait, TxSec: txSec,
-			ServerWait: srvWait, ServerSec: srvSec,
-			EnergyJ: dev.ComputeEnergy(devSec) + dev.RadioEnergy(txSec),
-		}
-		records = append(records, rec)
-		us := res.PerUser[ui]
-		us.Latency.Add(lat)
-		if task.Deadline > 0 {
-			us.Deadline.Observe(rec.Met)
-		}
-		us.ExitHist[choice.cut]++
-		us.Accuracy.Add(choice.acc)
-		us.Crossed.Observe(choice.crossed)
-		us.Energy.Add(rec.EnergyJ)
-		us.Failures.Observe(false)
-	}
-
-	// failTask records a fault-aborted task: a deadline miss (when the
-	// task carries a deadline) with the abort instant as its finish, kept
-	// out of the latency/accuracy/energy aggregates whose values it never
-	// produced.
-	failTask := func(ui int, task workload.Task, choice *exitChoice, abort float64, cause FailCause) {
-		if task.Arrival < cfg.Warmup {
-			return
-		}
-		rec := TaskRecord{
-			User: ui, Arrival: task.Arrival, Finish: abort, Latency: abort - task.Arrival,
-			Deadline: task.Deadline, Met: false,
-			ExitCut: choice.cut, Crossed: choice.crossed,
-			Failed: true, Cause: cause,
-		}
-		records = append(records, rec)
-		us := res.PerUser[ui]
-		if task.Deadline > 0 {
-			us.Deadline.Observe(false)
-		}
-		us.Crossed.Observe(choice.crossed)
-		us.Failures.Observe(true)
-	}
-
-	for ui := range cfg.Users {
-		u := cfg.Users[ui]
-		rt := &users[ui]
-		for _, task := range u.Tasks {
-			task := task
-			choice := pickExit(rt.choices, task.Difficulty)
-			eng.At(task.Arrival, func() {
-				devDur := choice.devSec
-				rt.device.Submit(
-					func(float64) float64 { return devDur },
-					func(devStart, devFinish float64) {
-						devWait := devStart - task.Arrival
-						if !choice.crossed {
-							finishTask(ui, task, choice, devFinish, devWait, devDur, 0, 0, 0, 0)
-							return
-						}
-						// Uplink stage.
-						txStation := rt.tx
-						share := rt.bShare
-						if cfg.Discipline != DedicatedShares {
-							txStation = servers[rt.server].sharedTx
-							share = 1
-						}
-						bytes := choice.txBytes
-						link := rt.link
-						timeoutAt := math.Inf(1)
-						if faulty {
-							timeoutAt = cfg.Retry.timeoutAt(task.Arrival)
-						}
-						// Stage-failure causes travel from the duration
-						// computation to the completion callback through
-						// these captures; the event loop is single-threaded
-						// and each submission owns its closure, so the
-						// hand-off is race-free.
-						var txCause, srvCause FailCause
-						txStation.Submit(
-							func(start float64) float64 {
-								if !faulty {
-									return netmodel.TransferTime(link, bytes, start, share)
-								}
-								var d float64
-								d, txCause = txStage(cfg.Faults, rt.server, link, bytes, start, share, cfg.Retry, timeoutAt)
-								return d
-							},
-							func(txStart, txFinish float64) {
-								if txCause != CauseNone {
-									failTask(ui, task, choice, txFinish, txCause)
-									return
-								}
-								txWait := txStart - devFinish
-								txSec := txFinish - txStart
-								// Server stage.
-								serverDone := func(srvStart, srvFinish float64) {
-									if srvCause != CauseNone {
-										failTask(ui, task, choice, srvFinish, srvCause)
-										return
-									}
-									srvWait := srvStart - txFinish
-									srvSec := srvFinish - srvStart
-									if srvWait < 0 {
-										// Processor sharing has no distinct
-										// waiting phase; all time is service.
-										srvWait = 0
-									}
-									finishTask(ui, task, choice, srvFinish,
-										devWait, devDur, txWait, txSec, srvWait, srvSec)
-								}
-								switch cfg.Discipline {
-								case DedicatedShares:
-									srvDur := choice.srvSec / rt.cShare
-									rt.compute.Submit(
-										func(start float64) float64 {
-											if !faulty {
-												return srvDur
-											}
-											var d float64
-											d, srvCause = computeStage(cfg.Faults, rt.server, start, srvDur, cfg.Retry, timeoutAt)
-											return d
-										},
-										serverDone)
-								case ProcessorSharing:
-									servers[rt.server].ps.Submit(choice.srvSec, serverDone)
-								default: // SharedFCFS
-									servers[rt.server].shared.Submit(
-										func(start float64) float64 {
-											if !faulty {
-												return choice.srvSec
-											}
-											var d float64
-											d, srvCause = computeStage(cfg.Faults, rt.server, start, choice.srvSec, cfg.Retry, timeoutAt)
-											return d
-										},
-										serverDone)
-								}
-							})
-					})
-			})
-		}
-	}
-
-	horizon := cfg.Horizon
-	if horizon <= 0 {
-		eng.Run()
-		horizon = eng.Now()
-	} else {
-		eng.RunUntil(horizon)
-	}
-	res.Records = records
-	res.Horizon = horizon
-	res.Events = eng.Executed()
-
-	res.ServerUtil = make([]float64, len(cfg.Servers))
-	for si := range cfg.Servers {
-		var busy float64
-		switch cfg.Discipline {
-		case SharedFCFS:
-			busy = servers[si].shared.BusyTime()
-		case ProcessorSharing:
-			busy = servers[si].ps.BusyTime()
-		default:
-			for ui := range users {
-				if users[ui].server == si && users[ui].compute != nil {
-					// A dedicated lane at share f delivering t seconds of
-					// lane time consumes f*t of the server.
-					busy += users[ui].compute.BusyTime() * users[ui].cShare
-				}
+		for ti := 1; ti < len(u.Tasks); ti++ {
+			if u.Tasks[ti].Arrival < u.Tasks[ti-1].Arrival {
+				return nil, fmt.Errorf("sim: user %d tasks not sorted by arrival", ui)
 			}
 		}
-		if horizon > 0 {
-			res.ServerUtil[si] = busy / horizon
-		}
+		choices[ui] = ch
 	}
-	return res, nil
+	comps := partition(&cfg)
+	shards := runComponents(&cfg, comps, choices)
+	return mergeShards(&cfg, comps, shards), nil
 }

@@ -12,13 +12,16 @@ import (
 //
 // Service demands are expressed in seconds at full capacity. Completion
 // events are rescheduled on every arrival/departure via a generation
-// counter, so stale events are ignored rather than cancelled.
+// counter, so stale events are ignored rather than cancelled. Jobs are held
+// in submission order, so simultaneous completions fire deterministically
+// (oldest first) — a requirement for the parallel path's bit-identical
+// merge.
 type PSStation struct {
 	Name string
 	eng  *Engine
 
-	jobs       map[int64]*psJob
-	nextID     int64
+	jobs       []psJob
+	fin        []psJob // scratch for completions, reused across events
 	lastUpdate float64
 	gen        int64
 
@@ -29,23 +32,33 @@ type PSStation struct {
 type psJob struct {
 	remaining float64 // seconds of service at full capacity
 	submitted float64
+	task      *taskState
 	done      func(start, finish float64)
 }
 
 // NewPSStation builds a processor-sharing station on the engine.
 func NewPSStation(eng *Engine, name string) *PSStation {
-	return &PSStation{Name: name, eng: eng, jobs: make(map[int64]*psJob)}
+	return &PSStation{Name: name, eng: eng}
 }
 
 // Submit adds a job with the given full-capacity service demand.
 func (s *PSStation) Submit(serviceSec float64, done func(start, finish float64)) {
-	if serviceSec < 0 || math.IsNaN(serviceSec) {
-		panic(fmt.Sprintf("sim: ps station %s: bad service %g", s.Name, serviceSec))
+	s.admit(psJob{remaining: serviceSec, done: done})
+}
+
+// submitTask adds a typed task-lifecycle job; completion is routed to the
+// shard runner's stageDone without allocating a closure.
+func (s *PSStation) submitTask(serviceSec float64, t *taskState) {
+	s.admit(psJob{remaining: serviceSec, task: t})
+}
+
+func (s *PSStation) admit(j psJob) {
+	if j.remaining < 0 || math.IsNaN(j.remaining) {
+		panic(fmt.Sprintf("sim: ps station %s: bad service %g", s.Name, j.remaining))
 	}
 	s.advance()
-	id := s.nextID
-	s.nextID++
-	s.jobs[id] = &psJob{remaining: serviceSec, submitted: s.eng.Now(), done: done}
+	j.submitted = s.eng.Now()
+	s.jobs = append(s.jobs, j)
 	s.reschedule()
 }
 
@@ -54,8 +67,8 @@ func (s *PSStation) advance() {
 	now := s.eng.Now()
 	if n := len(s.jobs); n > 0 {
 		progress := (now - s.lastUpdate) / float64(n)
-		for _, j := range s.jobs {
-			j.remaining -= progress
+		for i := range s.jobs {
+			s.jobs[i].remaining -= progress
 		}
 		s.busyTime += now - s.lastUpdate
 	}
@@ -65,46 +78,52 @@ func (s *PSStation) advance() {
 // reschedule plans the next completion.
 func (s *PSStation) reschedule() {
 	s.gen++
-	gen := s.gen
 	if len(s.jobs) == 0 {
 		return
 	}
 	min := math.Inf(1)
-	for _, j := range s.jobs {
-		if j.remaining < min {
-			min = j.remaining
+	for i := range s.jobs {
+		if s.jobs[i].remaining < min {
+			min = s.jobs[i].remaining
 		}
 	}
 	if min < 0 {
 		min = 0
 	}
 	eta := min * float64(len(s.jobs))
-	s.eng.After(eta, func() {
-		if gen != s.gen {
-			return // superseded by a later arrival/departure
-		}
-		s.complete()
-	})
+	s.eng.atPSCheck(s.eng.Now()+eta, s, s.gen)
 }
 
-// complete finishes every job whose remaining service reached zero.
+// complete finishes every job whose remaining service reached zero, in
+// submission order (fired by a current-generation evPSCheck).
 func (s *PSStation) complete() {
 	s.advance()
 	now := s.eng.Now()
 	const eps = 1e-12
-	var finished []*psJob
-	for id, j := range s.jobs {
-		if j.remaining <= eps {
-			finished = append(finished, j)
-			delete(s.jobs, id)
+	s.fin = s.fin[:0]
+	keep := s.jobs[:0]
+	for i := range s.jobs {
+		if s.jobs[i].remaining <= eps {
+			s.fin = append(s.fin, s.jobs[i])
+		} else {
+			keep = append(keep, s.jobs[i])
 		}
 	}
+	// Zero the vacated tail so finished-job references are not retained.
+	for i := len(keep); i < len(s.jobs); i++ {
+		s.jobs[i] = psJob{}
+	}
+	s.jobs = keep
 	s.reschedule()
-	for _, j := range finished {
+	for i := range s.fin {
+		j := &s.fin[i]
 		s.served++
-		if j.done != nil {
+		if j.task != nil {
+			s.eng.run.stageDone(j.task, j.submitted, now)
+		} else if j.done != nil {
 			j.done(j.submitted, now)
 		}
+		*j = psJob{}
 	}
 }
 

@@ -145,9 +145,10 @@ func basicScenario(t *testing.T, rate float64, nUsers int, disc Discipline) Conf
 	cand := m.ExitCandidates()
 
 	cfg := Config{
-		Servers:    []ServerConfig{{Profile: srv, Link: link}},
-		Discipline: disc,
-		Horizon:    0,
+		Servers:     []ServerConfig{{Profile: srv, Link: link}},
+		Discipline:  disc,
+		Horizon:     0,
+		KeepRecords: true,
 	}
 	for ui := 0; ui < nUsers; ui++ {
 		plan := surgery.Plan{Model: m, Exits: cand[1:3], Theta: 0.2, Partition: 3}
@@ -226,7 +227,8 @@ func TestSimMatchesAnalyticExpectation(t *testing.T) {
 			Plan: plan, Device: dev, Server: 0,
 			ComputeShare: 0.5, BandwidthShare: 0.5, Tasks: tasks,
 		}},
-		Discipline: DedicatedShares,
+		Discipline:  DedicatedShares,
+		KeepRecords: true,
 	}
 	res, err := Run(cfg)
 	if err != nil {
@@ -337,7 +339,8 @@ func TestExitHistogramMatchesAnalytic(t *testing.T) {
 		Difficulty: workload.EasyBiased, Seed: 13,
 	}.Generate(600)
 	res, err := Run(Config{
-		Users: []UserConfig{{Plan: plan, Device: dev, Server: -1, Tasks: tasks}},
+		Users:       []UserConfig{{Plan: plan, Device: dev, Server: -1, Tasks: tasks}},
+		KeepRecords: true,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -60,6 +60,30 @@ func (s *Stream) Min() float64 { return s.min }
 // Max returns the largest observation (0 for an empty stream).
 func (s *Stream) Max() float64 { return s.max }
 
+// Merge folds another stream's moments into s (Chan et al.'s parallel
+// Welford update), as if s had also observed everything o observed.
+func (s *Stream) Merge(o Stream) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n1, n2 := float64(s.n), float64(o.n)
+	tot := n1 + n2
+	d := o.mean - s.mean
+	s.mean += d * n2 / tot
+	s.m2 += o.m2 + d*d*n1*n2/tot
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n += o.n
+}
+
 // Series collects raw observations for exact quantiles and CDFs. Use for
 // simulation-scale data (up to a few million points).
 type Series struct {
@@ -70,6 +94,25 @@ type Series struct {
 // Add records one observation.
 func (s *Series) Add(x float64) {
 	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// Grow pre-sizes the series so the next n additions don't reallocate.
+func (s *Series) Grow(n int) {
+	if cap(s.xs)-len(s.xs) >= n {
+		return
+	}
+	xs := make([]float64, len(s.xs), len(s.xs)+n)
+	copy(xs, s.xs)
+	s.xs = xs
+}
+
+// Merge appends another series' observations (in their current order) to s.
+func (s *Series) Merge(o *Series) {
+	if o == nil || len(o.xs) == 0 {
+		return
+	}
+	s.xs = append(s.xs, o.xs...)
 	s.sorted = false
 }
 
