@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race fuzz-smoke bench bench-smoke experiments examples cover clean
+.PHONY: all build vet test test-short test-race fuzz-smoke bench bench-smoke serve-smoke experiments examples cover clean
 
 all: build vet test
 
@@ -23,7 +23,7 @@ test-short:
 # simulator (component worker pool + differential equivalence tests), and
 # a small E21 scale run through the experiments arm pool.
 test-race:
-	$(GO) test -race ./internal/joint/... ./internal/surgery/... ./internal/sim/...
+	$(GO) test -race ./internal/joint/... ./internal/surgery/... ./internal/sim/... ./internal/telemetry/... ./internal/serve/...
 	$(GO) test -race -run 'TestE21SmallScaleAgrees' ./internal/experiments
 
 # Short fuzzing pass over the optimizer kernels (~10 s per target): the
@@ -32,6 +32,7 @@ test-race:
 fuzz-smoke:
 	$(GO) test ./internal/surgery -run '^$$' -fuzz FuzzSurgeryOptimize -fuzztime 10s
 	$(GO) test ./internal/alloc -run '^$$' -fuzz FuzzAllocDeadline -fuzztime 10s
+	$(GO) test ./internal/telemetry -run '^$$' -fuzz FuzzTraceDecode -fuzztime 10s
 
 # One benchmark per evaluation artifact (E1-E21) plus kernel microbenchmarks.
 bench:
@@ -41,6 +42,14 @@ bench:
 # multi-user scaling benchmarks with allocation accounting.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineEvents|BenchmarkE4' -benchtime=1x -benchmem . ./internal/sim
+
+# Control-plane smoke for CI: replay the bundled drifting + faulty trace
+# through cmd/edgeserved and pin the hysteresis policy's full-replan count
+# (the replay is deterministic, so the golden value is exact).
+serve-smoke:
+	$(GO) run ./cmd/edgeserved -scenario cmd/edgeserved/testdata/smoke-scenario.json \
+		-trace cmd/edgeserved/testdata/smoke-trace.jsonl \
+		-policy hysteresis -expect-full-replans 4
 
 # Regenerate every table and figure of the reconstructed evaluation.
 experiments:

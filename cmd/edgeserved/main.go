@@ -1,0 +1,311 @@
+// Command edgeserved is the online serving control plane around one
+// deployment: it records cluster telemetry traces and replays them through
+// the serve.Runtime, reporting every replan decision the hysteresis policy
+// made.
+//
+// Usage:
+//
+//	edgeserved -scenario deploy.json -record trace.jsonl -horizon 240 -period 5 \
+//	    -fault crash:1:60:100                 # record a telemetry trace
+//	edgeserved -scenario deploy.json -trace trace.jsonl -policy hysteresis
+//	edgeserved -scenario deploy.json -trace trace.jsonl -policy hysteresis \
+//	    -expect-full-replans 3                # CI smoke: pin the replan count
+//	edgeserved -scenario deploy.json -trace trace.jsonl -http :8080
+//	    # then: curl localhost:8080/metrics ; curl localhost:8080/plan
+//
+// The scenario schema is documented in internal/config; the trace format is
+// JSON lines, one telemetry.Sample per line.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"edgesurgeon/internal/config"
+	"edgesurgeon/internal/faults"
+	"edgesurgeon/internal/joint"
+	"edgesurgeon/internal/serve"
+	"edgesurgeon/internal/sim"
+	"edgesurgeon/internal/telemetry"
+)
+
+// faultFlags collects repeatable -fault specs of the form
+// kind:server:start:end[:factor], e.g. crash:1:60:100 or brownout:0:30:90:0.5.
+type faultFlags struct {
+	windows []faults.Window
+}
+
+func (f *faultFlags) String() string { return fmt.Sprintf("%d faults", len(f.windows)) }
+
+func (f *faultFlags) Set(spec string) error {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 4 || len(parts) > 5 {
+		return fmt.Errorf("want kind:server:start:end[:factor], got %q", spec)
+	}
+	var w faults.Window
+	switch parts[0] {
+	case "crash":
+		w.Kind = faults.ServerCrash
+	case "outage":
+		w.Kind = faults.LinkOutage
+	case "brownout":
+		w.Kind = faults.Brownout
+	default:
+		return fmt.Errorf("unknown fault kind %q (crash | outage | brownout)", parts[0])
+	}
+	var err error
+	if w.Server, err = strconv.Atoi(parts[1]); err != nil {
+		return fmt.Errorf("server index %q: %w", parts[1], err)
+	}
+	if w.Start, err = strconv.ParseFloat(parts[2], 64); err != nil {
+		return fmt.Errorf("start %q: %w", parts[2], err)
+	}
+	if w.End, err = strconv.ParseFloat(parts[3], 64); err != nil {
+		return fmt.Errorf("end %q: %w", parts[3], err)
+	}
+	if len(parts) == 5 {
+		if w.Factor, err = strconv.ParseFloat(parts[4], 64); err != nil {
+			return fmt.Errorf("factor %q: %w", parts[4], err)
+		}
+	}
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	f.windows = append(f.windows, w)
+	return nil
+}
+
+func main() {
+	var faultSpecs faultFlags
+	var (
+		scenarioPath = flag.String("scenario", "", "path to JSON scenario (required)")
+		recordPath   = flag.String("record", "", "record a telemetry trace to this file and exit")
+		horizon      = flag.Float64("horizon", 0, "recording horizon in seconds (0 = scenario horizon)")
+		period       = flag.Float64("period", 5, "recording sample period in seconds")
+		tracePath    = flag.String("trace", "", "replay this telemetry trace through the control plane")
+		policyName   = flag.String("policy", "hysteresis", "replan policy: always | hysteresis | never")
+		relChange    = flag.Float64("rel-change", -1, "override: min relative uplink drift for a full replan")
+		minInterval  = flag.Float64("min-interval", -1, "override: min seconds between full replans")
+		budget       = flag.Int("replan-budget", -1, "override: max full replans per trailing window")
+		budgetWindow = flag.Float64("budget-window", -1, "override: trailing budget window in seconds")
+		journalPath  = flag.String("journal", "", "write the replan-decision journal here (\"-\" = stdout)")
+		expectFull   = flag.Int("expect-full-replans", -1, "exit non-zero unless the replay ran exactly this many full replans")
+		httpAddr     = flag.String("http", "", "serve /metrics and /plan on this address after the replay")
+		parallelism  = flag.Int("parallelism", 0, "planner worker count (0 = GOMAXPROCS); plans are identical across levels")
+	)
+	flag.Var(&faultSpecs, "fault", "fault window kind:server:start:end[:factor] (repeatable, record mode)")
+	flag.Parse()
+
+	if *scenarioPath == "" {
+		fmt.Fprintln(os.Stderr, "edgeserved: -scenario required")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*scenarioPath)
+	if err != nil {
+		fatal(err)
+	}
+	sc, scHorizon, err := config.Parse(data)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *recordPath != "":
+		if err := record(sc, scHorizon, *recordPath, *horizon, *period, faultSpecs.windows); err != nil {
+			fatal(err)
+		}
+	case *tracePath != "":
+		policy, err := buildPolicy(*policyName, *relChange, *minInterval, *budget, *budgetWindow)
+		if err != nil {
+			fatal(err)
+		}
+		if err := replay(sc, policy, *tracePath, *journalPath, *expectFull, *httpAddr, *parallelism); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "edgeserved: need -record or -trace")
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "edgeserved: %v\n", err)
+	os.Exit(1)
+}
+
+// record samples the scenario's own links (and the optional fault windows)
+// into a JSONL telemetry trace — the offline stand-in for a live cluster's
+// periodic probes.
+func record(sc *joint.Scenario, scHorizon float64, path string, horizon, period float64, windows []faults.Window) error {
+	if horizon <= 0 {
+		horizon = scHorizon
+	}
+	servers := make([]sim.ServerConfig, len(sc.Servers))
+	for i, s := range sc.Servers {
+		servers[i] = sim.ServerConfig{Profile: s.Profile, Link: s.Link}
+	}
+	var sched *faults.Schedule
+	if len(windows) > 0 {
+		var err error
+		if sched, err = faults.New(windows...); err != nil {
+			return err
+		}
+	}
+	trace, err := sim.RecordTrace(servers, sched, horizon, period)
+	if err != nil {
+		return err
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.EncodeTrace(out, trace); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d samples over %gs (period %gs, %d fault windows) to %s\n",
+		len(trace), horizon, period, len(windows), path)
+	return nil
+}
+
+func buildPolicy(name string, relChange, minInterval float64, budget int, window float64) (serve.Policy, error) {
+	var p serve.Policy
+	switch name {
+	case "always":
+		p = serve.AlwaysReplan()
+	case "hysteresis":
+		p = serve.Hysteresis()
+	case "never":
+		p = serve.NeverReplan()
+	default:
+		return p, fmt.Errorf("unknown policy %q (always | hysteresis | never)", name)
+	}
+	if relChange >= 0 {
+		p.RelChange = relChange
+	}
+	if minInterval >= 0 {
+		p.MinInterval = minInterval
+	}
+	if budget >= 0 {
+		p.Budget = budget
+	}
+	if window >= 0 {
+		p.Window = window
+	}
+	return p, p.Validate()
+}
+
+// replay drives the recorded trace through a fresh control plane and
+// reports what the policy decided.
+func replay(sc *joint.Scenario, policy serve.Policy, tracePath, journalPath string, expectFull int, httpAddr string, parallelism int) error {
+	in, err := os.Open(tracePath)
+	if err != nil {
+		return err
+	}
+	trace, err := telemetry.DecodeTrace(in)
+	in.Close()
+	if err != nil {
+		return err
+	}
+	rt, err := serve.New(serve.Config{
+		Scenario: sc,
+		Planner:  &joint.Planner{Opt: joint.Options{Parallelism: parallelism}},
+		Policy:   policy,
+	})
+	if err != nil {
+		return err
+	}
+	plan, err := rt.Replay(trace)
+	if err != nil {
+		return err
+	}
+
+	reg := rt.Metrics()
+	count := func(name string) int64 { return reg.Counter(name).Value() }
+	fmt.Printf("replayed %d samples over %gs\n", len(trace), rt.Clock())
+	fmt.Printf("full replans:    %d\n", count("serve.replans.full"))
+	fmt.Printf("cheap refreshes: %d\n", count("serve.replans.cheap"))
+	fmt.Printf("deferred:        %d\n", count("serve.replans.deferred"))
+	fmt.Printf("no-change:       %d\n", count("serve.no_change"))
+	fmt.Printf("final plan:      %s objective=%.4f feasible=%t\n", plan.PlannerName, plan.Objective, plan.Feasible)
+
+	if journalPath != "" {
+		text := rt.Journal().String()
+		if journalPath == "-" {
+			fmt.Print(text)
+		} else if err := os.WriteFile(journalPath, []byte(text), 0o644); err != nil {
+			return err
+		}
+	}
+	if expectFull >= 0 && int64(expectFull) != rt.FullReplans() {
+		return fmt.Errorf("expected %d full replans, got %d", expectFull, rt.FullReplans())
+	}
+	if httpAddr != "" {
+		return serveHTTP(httpAddr, sc, rt)
+	}
+	return nil
+}
+
+// planSummary is the /plan endpoint's per-user view of the active plan. It
+// deliberately re-shapes joint.Plan: the raw struct embeds whole model
+// definitions, which no monitoring client wants.
+type planSummary struct {
+	Planner   string        `json:"planner"`
+	Objective float64       `json:"objective"`
+	Feasible  bool          `json:"feasible"`
+	Users     []userSummary `json:"users"`
+}
+
+type userSummary struct {
+	Name           string  `json:"name"`
+	Server         int     `json:"server"` // -1 = device-only
+	Partition      int     `json:"partition"`
+	Exits          []int   `json:"exits,omitempty"`
+	Theta          float64 `json:"theta,omitempty"`
+	ComputeShare   float64 `json:"computeShare"`
+	BandwidthShare float64 `json:"bandwidthShare"`
+	LatencySec     float64 `json:"latencySec"`
+}
+
+func serveHTTP(addr string, sc *joint.Scenario, rt *serve.Runtime) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		rt.Metrics().WriteText(w)
+	})
+	mux.HandleFunc("/plan", func(w http.ResponseWriter, _ *http.Request) {
+		plan := rt.Current()
+		sum := planSummary{
+			Planner:   plan.PlannerName,
+			Objective: plan.Objective,
+			Feasible:  plan.Feasible,
+		}
+		for ui := range plan.Decisions {
+			d := &plan.Decisions[ui]
+			sum.Users = append(sum.Users, userSummary{
+				Name:           sc.Users[ui].Name,
+				Server:         d.Server,
+				Partition:      d.Plan.Partition,
+				Exits:          d.Plan.Exits,
+				Theta:          d.Plan.Theta,
+				ComputeShare:   d.ComputeShare,
+				BandwidthShare: d.BandwidthShare,
+				LatencySec:     d.Latency(),
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(sum)
+	})
+	fmt.Printf("serving /metrics and /plan on %s\n", addr)
+	return http.ListenAndServe(addr, mux)
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+
+	"edgesurgeon/internal/faults"
+	"edgesurgeon/internal/joint"
+	"edgesurgeon/internal/netmodel"
+	"edgesurgeon/internal/serve"
+	"edgesurgeon/internal/sim"
+	"edgesurgeon/internal/stats"
+	"edgesurgeon/internal/workload"
+)
+
+// E22ControlPlanePolicies replays one drifting-bandwidth + fault telemetry
+// trace through the serve.Runtime under three replanning policies —
+// replan-always, hysteresis, and never-replan — and simulates each sample
+// window's arrivals under the plan each policy was actually serving at that
+// moment. The claim under test: hysteresis holds deadline satisfaction
+// within one point of replan-always while running at least five times fewer
+// full (block-coordinate) replans; never-replan shows what that planning
+// work buys.
+func E22ControlPlanePolicies() (*Report, error) {
+	r := &Report{
+		ID: "E22", Artifact: "Control-plane study",
+		Title: "Replanning policies on a drifting + faulty trace (always vs hysteresis vs never)",
+	}
+	const (
+		horizon = 240.0
+		period  = 5.0
+	)
+
+	// A moderately fading cluster: both uplinks wander across a 4-5x range
+	// so the trace genuinely drifts, with an E20-style crash and outage on
+	// top of it.
+	build := func() (*joint.Scenario, error) {
+		sc := mixedScenario(8, 1.2, 0.35, 40)
+		mk := func(name string, statesMbps []float64, dwell float64, rtt float64, seed int64) (netmodel.Link, error) {
+			states := make([]float64, len(statesMbps))
+			for i, v := range statesMbps {
+				states[i] = netmodel.Mbps(v)
+			}
+			return netmodel.NewFading(name, netmodel.FadingConfig{
+				States: states, MeanDwell: dwell, Horizon: horizon * 2, RTT: rtt, Seed: seed,
+			})
+		}
+		var err error
+		if sc.Servers[0].Link, err = mk("wifi-a", []float64{16, 28, 45}, 16, 0.004, 41); err != nil {
+			return nil, err
+		}
+		if sc.Servers[1].Link, err = mk("wifi-b", []float64{10, 18, 30}, 18, 0.006, 42); err != nil {
+			return nil, err
+		}
+		return sc, nil
+	}
+	sched := faults.MustNew(
+		faults.Window{Kind: faults.ServerCrash, Server: 0, Start: 60, End: 100},
+		faults.Window{Kind: faults.LinkOutage, Server: 1, Start: 120, End: 160},
+	)
+
+	// Record the telemetry trace once; every arm replays the same samples.
+	scTrace, err := build()
+	if err != nil {
+		return nil, err
+	}
+	servers := make([]sim.ServerConfig, len(scTrace.Servers))
+	for i, s := range scTrace.Servers {
+		servers[i] = sim.ServerConfig{Profile: s.Profile, Link: s.Link}
+	}
+	trace, err := sim.RecordTrace(servers, sched, horizon, period)
+	if err != nil {
+		return nil, err
+	}
+
+	type armResult struct {
+		name        string
+		fulls       int64
+		cheaps      int64
+		deferred    int64
+		met         stats.Meter
+		fail        stats.Meter
+		faultMet    stats.Meter
+		finalChange float64
+	}
+	arms := []struct {
+		name   string
+		policy serve.Policy
+	}{
+		{"replan-always", serve.AlwaysReplan()},
+		{"hysteresis", serve.Hysteresis()},
+		{"never-replan", serve.NeverReplan()},
+	}
+	results := make([]armResult, len(arms))
+	err = forEachArm(len(arms), func(ai int) error {
+		sc, err := build()
+		if err != nil {
+			return err
+		}
+		rt, err := serve.New(serve.Config{Scenario: sc, Policy: arms[ai].policy})
+		if err != nil {
+			return err
+		}
+		res := armResult{name: arms[ai].name}
+		for i := range trace {
+			plan, err := rt.Ingest(trace[i])
+			if err != nil {
+				return fmt.Errorf("%s: sample %d: %w", arms[ai].name, i, err)
+			}
+			// Simulate this sample window's arrivals under whatever plan the
+			// policy is serving right now, with the fault trace live.
+			start := trace[i].Time
+			cfg := joint.BuildSimConfig(sc, plan, horizon, sim.DedicatedShares)
+			cfg.Faults = sched
+			cfg.Retry = sim.RetryPolicy{TaskTimeout: 2}
+			for ui := range cfg.Users {
+				var kept []workload.Task
+				for _, task := range cfg.Users[ui].Tasks {
+					if task.Arrival >= start && task.Arrival < start+period {
+						kept = append(kept, task)
+					}
+				}
+				cfg.Users[ui].Tasks = kept
+			}
+			simRes, err := sim.Run(cfg)
+			if err != nil {
+				return err
+			}
+			up := sched.Health(len(sc.Servers), start)
+			inFault := !up[0] || !up[1]
+			for ri := range simRes.Records {
+				rec := &simRes.Records[ri]
+				if rec.Deadline > 0 {
+					res.met.Observe(rec.Met)
+					if inFault {
+						res.faultMet.Observe(rec.Met)
+					}
+				}
+				res.fail.Observe(rec.Failed)
+			}
+		}
+		reg := rt.Metrics()
+		res.fulls = reg.Counter("serve.replans.full").Value()
+		res.cheaps = reg.Counter("serve.replans.cheap").Value()
+		res.deferred = reg.Counter("serve.replans.deferred").Value()
+		results[ai] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := stats.NewTable("Policy comparison over one 240 s trace (48 samples)",
+		"policy", "full-replans", "cheap-refreshes", "deferred", "deadline-rate", "failure-rate", "fault-window-deadline-rate")
+	for _, res := range results {
+		t.AddRow(res.name, float64(res.fulls), float64(res.cheaps), float64(res.deferred),
+			res.met.Rate(), res.fail.Rate(), res.faultMet.Rate())
+	}
+	r.Tables = append(r.Tables, t)
+
+	always, hyst, never := &results[0], &results[1], &results[2]
+	r.note("deadline satisfaction: hysteresis %.3f vs replan-always %.3f (delta %.3f) vs never-replan %.3f",
+		hyst.met.Rate(), always.met.Rate(), always.met.Rate()-hyst.met.Rate(), never.met.Rate())
+	r.note("full replans: hysteresis %d vs replan-always %d (%.1fx fewer)",
+		hyst.fulls, always.fulls, float64(always.fulls)/float64(max64(hyst.fulls, 1)))
+	if hyst.met.Rate() < always.met.Rate()-0.01 {
+		r.note("WARNING: hysteresis lost more than one point of deadline satisfaction vs replan-always")
+	}
+	if always.fulls < 5*hyst.fulls {
+		r.note("WARNING: hysteresis did not cut full replans by at least 5x")
+	}
+	if never.faultMet.Rate() > hyst.faultMet.Rate() {
+		r.note("WARNING: never-replan beat hysteresis inside fault windows — the control plane is not earning its keep")
+	}
+	return r, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

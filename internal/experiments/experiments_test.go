@@ -7,10 +7,10 @@ import (
 
 func TestRegistryCompleteAndOrdered(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 21 {
-		t.Fatalf("got %d experiments, want 21: %v", len(ids), ids)
+	if len(ids) != 22 {
+		t.Fatalf("got %d experiments, want 22: %v", len(ids), ids)
 	}
-	if ids[0] != "E1" || ids[20] != "E21" {
+	if ids[0] != "E1" || ids[21] != "E22" {
 		t.Fatalf("bad ordering: %v", ids)
 	}
 	reg := Registry()
@@ -139,6 +139,20 @@ func TestE20FailureAwareWins(t *testing.T) {
 	}
 	if !restored {
 		t.Error("recovery note missing")
+	}
+}
+
+func TestE22HysteresisHoldsTheLine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace-replay simulations in -short mode")
+	}
+	// runReport fails on the WARNING notes E22 emits when hysteresis loses
+	// more than one point of deadline satisfaction vs replan-always, fails
+	// to cut full replans by at least 5x, or loses to never-replan inside
+	// fault windows.
+	r := runReport(t, "E22")
+	if rows := len(r.Tables[0].Rows); rows != 3 {
+		t.Fatalf("policy rows = %d, want 3", rows)
 	}
 }
 

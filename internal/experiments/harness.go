@@ -89,6 +89,7 @@ func Registry() map[string]Runner {
 		"E19": E19SaturationThroughput,
 		"E20": E20AvailabilityUnderFailures,
 		"E21": E21ScaleThroughput,
+		"E22": E22ControlPlanePolicies,
 	}
 }
 

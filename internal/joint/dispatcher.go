@@ -3,6 +3,8 @@ package joint
 import (
 	"fmt"
 	"math"
+
+	"edgesurgeon/internal/telemetry"
 )
 
 // Dispatcher is the online layer: it holds the current plan and re-runs the
@@ -23,19 +25,42 @@ type Dispatcher struct {
 	base    *Plan  // pristine construction-time plan, restored on recovery
 	down    []bool // per-server: true while the last health probe said unreachable
 	health  HealthReport
+	metrics *telemetry.Registry // nil until Instrument
 }
 
-// BadObservationError reports a rejected health/uplink observation: a
-// non-finite observed rate would poison every subsequent planning step, so
-// the dispatcher refuses it and keeps its current plan.
+// BadObservationError reports a rejected telemetry observation: a malformed
+// observed value would poison every subsequent planning step, so the
+// consumer (the dispatcher, or the serve.Runtime ingestion boundary in
+// front of it) refuses it and keeps its current plan. The zero Field and
+// Reason describe the dispatcher's own uplink-rate check; the control plane
+// fills them in for its wider validation (negative rates, bad sample
+// times).
 type BadObservationError struct {
+	// Server is the offending server index, or -1 when the value is not
+	// server-scoped (e.g. a sample timestamp).
 	Server int
-	Rate   float64
+	// Rate is the rejected value.
+	Rate float64
+	// Field names what the value is; empty means "uplink rate".
+	Field string
+	// Reason says why it was rejected; empty means "is not finite".
+	Reason string
 }
 
 // Error implements error.
 func (e *BadObservationError) Error() string {
-	return fmt.Sprintf("joint: observed uplink rate %g for server %d is not finite", e.Rate, e.Server)
+	field := e.Field
+	if field == "" {
+		field = "uplink rate"
+	}
+	reason := e.Reason
+	if reason == "" {
+		reason = "is not finite"
+	}
+	if e.Server < 0 {
+		return fmt.Sprintf("joint: observed %s %g %s", field, e.Rate, reason)
+	}
+	return fmt.Sprintf("joint: observed %s %g for server %d %s", field, e.Rate, e.Server, reason)
 }
 
 // HealthReport summarizes what the last observation did.
@@ -82,6 +107,29 @@ func (d *Dispatcher) Current() *Plan { return d.plan }
 
 // Health returns the report of the most recent observation.
 func (d *Dispatcher) Health() HealthReport { return d.health }
+
+// Instrument attaches a telemetry registry: every subsequent observation
+// updates the "dispatcher.*" counter/gauge series (observations, evacuated,
+// shed, local_fallback, degraded, restores, objective). The HealthReport
+// accessors keep working unchanged — they are the per-observation view of
+// the same tallies. Instrumentation never changes dispatch decisions.
+func (d *Dispatcher) Instrument(reg *telemetry.Registry) { d.metrics = reg }
+
+// record publishes one observation's outcome to the attached registry.
+func (d *Dispatcher) record(report *HealthReport, plan *Plan) {
+	if d.metrics == nil {
+		return
+	}
+	d.metrics.Counter("dispatcher.observations").Inc()
+	d.metrics.Counter("dispatcher.evacuated").Add(int64(report.Evacuated))
+	d.metrics.Counter("dispatcher.shed").Add(int64(report.Shed))
+	d.metrics.Counter("dispatcher.local_fallback").Add(int64(report.LocalFallback))
+	d.metrics.Counter("dispatcher.degraded").Add(int64(len(report.Degraded)))
+	if report.Restored {
+		d.metrics.Counter("dispatcher.restores").Inc()
+	}
+	d.metrics.Gauge("dispatcher.objective").Set(plan.Objective)
+}
 
 // ObserveUplinks replaces each server's planning-time uplink rate with the
 // observed value (bps) and replans surgery + allocation without changing
@@ -139,6 +187,7 @@ func (d *Dispatcher) Observe(serverUp []bool, ratesBps []float64) (*Plan, error)
 		d.plan = clonePlan(d.base)
 		report.Restored = true
 		d.health = report
+		d.record(&report, d.plan)
 		return d.plan, nil
 	}
 
@@ -187,6 +236,7 @@ func (d *Dispatcher) Observe(serverUp []bool, ratesBps []float64) (*Plan, error)
 		d.plan.SurgeryCacheHits, d.plan.SurgeryCacheMisses = st.cache.counters()
 	}
 	d.health = report
+	d.record(&report, d.plan)
 	return d.plan, nil
 }
 

@@ -106,7 +106,7 @@ func TestSurgeryCacheHitIdenticalToColdCall(t *testing.T) {
 	}
 	sopt := surgery.Options{FixedPartition: surgery.FreePartition, MinAccuracy: 0.7}
 
-	cache := newSurgeryCache()
+	cache := newSurgeryCache(nil)
 	key := keyFor(m, env, sopt)
 	if _, _, ok := cache.get(key); ok {
 		t.Fatal("empty cache reported a hit")
@@ -217,7 +217,7 @@ func BenchmarkSurgeryCache(b *testing.B) {
 	key := keyFor(m, env, sopt)
 
 	b.Run("cold", func(b *testing.B) {
-		cache := newSurgeryCache()
+		cache := newSurgeryCache(nil)
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			plan, ev, err := surgery.Optimize(m, env, sopt)
@@ -228,7 +228,7 @@ func BenchmarkSurgeryCache(b *testing.B) {
 		}
 	})
 	b.Run("hit", func(b *testing.B) {
-		cache := newSurgeryCache()
+		cache := newSurgeryCache(nil)
 		plan, ev, err := surgery.Optimize(m, env, sopt)
 		if err != nil {
 			b.Fatal(err)

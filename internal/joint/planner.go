@@ -6,6 +6,7 @@ import (
 
 	"edgesurgeon/internal/alloc"
 	"edgesurgeon/internal/surgery"
+	"edgesurgeon/internal/telemetry"
 )
 
 // Options tunes the joint planner.
@@ -44,6 +45,12 @@ type Options struct {
 	// Caching never changes planner output because surgery always runs at
 	// quantized shares — see ShareQuantum.
 	DisableSurgeryCache bool
+	// Metrics, when non-nil, receives the planner's instrumentation:
+	// "planner.plans" and "planner.iterations" counters plus the
+	// "planner.surgery_cache.hits"/".misses" series (accumulated across
+	// Plan calls; the per-call Plan fields remain exact deltas).
+	// Instrumentation never changes planner output.
+	Metrics *telemetry.Registry
 }
 
 // AllocatorKind selects the per-server allocation rule.
@@ -158,6 +165,10 @@ func (p *Planner) Plan(sc *Scenario) (*Plan, error) {
 	if st.cache != nil {
 		plan.SurgeryCacheHits, plan.SurgeryCacheMisses = st.cache.counters()
 	}
+	if opt.Metrics != nil {
+		opt.Metrics.Counter("planner.plans").Inc()
+		opt.Metrics.Counter("planner.iterations").Add(int64(iters))
+	}
 	return plan, nil
 }
 
@@ -260,7 +271,7 @@ func newState(sc *Scenario, opt Options) (*state, error) {
 	st.uplink = make([]float64, len(sc.Servers))
 	st.workers = opt.parallelism()
 	if !opt.DisableSurgeryCache {
-		st.cache = newSurgeryCache()
+		st.cache = newSurgeryCache(opt.Metrics)
 	}
 	for s := range sc.Servers {
 		st.uplink[s] = sc.meanUplink(s)

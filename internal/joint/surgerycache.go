@@ -3,11 +3,11 @@ package joint
 import (
 	"math"
 	"sync"
-	"sync/atomic"
 
 	"edgesurgeon/internal/dnn"
 	"edgesurgeon/internal/hardware"
 	"edgesurgeon/internal/surgery"
+	"edgesurgeon/internal/telemetry"
 	"edgesurgeon/internal/workload"
 )
 
@@ -88,15 +88,31 @@ type surgeryEntry struct {
 // unconditionally, a hit returns exactly what the miss path would compute,
 // so cache behaviour (including racy double-misses under parallelism)
 // never changes planner output — it only changes the hit/miss counters.
+// The hit/miss tallies live in telemetry counters: when the planner is
+// instrumented (Options.Metrics) they are the registry's
+// "planner.surgery_cache.hits"/".misses" series and accumulate across Plan
+// calls; otherwise they are private standalone counters. Either way the
+// per-Plan counts the Plan struct reports are deltas against the baselines
+// captured at cache construction, so the old accessors keep their exact
+// per-call semantics.
 type surgeryCache struct {
 	mu      sync.Mutex
 	entries map[surgeryKey]surgeryEntry
-	hits    atomic.Int64
-	misses  atomic.Int64
+	hits    *telemetry.Counter
+	misses  *telemetry.Counter
+	h0, m0  int64 // counter baselines at construction (per-Plan deltas)
 }
 
-func newSurgeryCache() *surgeryCache {
-	return &surgeryCache{entries: make(map[surgeryKey]surgeryEntry)}
+func newSurgeryCache(reg *telemetry.Registry) *surgeryCache {
+	c := &surgeryCache{entries: make(map[surgeryKey]surgeryEntry)}
+	if reg != nil {
+		c.hits = reg.Counter("planner.surgery_cache.hits")
+		c.misses = reg.Counter("planner.surgery_cache.misses")
+	} else {
+		c.hits, c.misses = new(telemetry.Counter), new(telemetry.Counter)
+	}
+	c.h0, c.m0 = c.hits.Value(), c.misses.Value()
+	return c
 }
 
 func (c *surgeryCache) get(k surgeryKey) (surgery.Plan, surgery.Eval, bool) {
@@ -104,10 +120,10 @@ func (c *surgeryCache) get(k surgeryKey) (surgery.Plan, surgery.Eval, bool) {
 	e, ok := c.entries[k]
 	c.mu.Unlock()
 	if ok {
-		c.hits.Add(1)
+		c.hits.Inc()
 		return e.plan, e.eval, true
 	}
-	c.misses.Add(1)
+	c.misses.Inc()
 	return surgery.Plan{}, surgery.Eval{}, false
 }
 
@@ -117,10 +133,11 @@ func (c *surgeryCache) put(k surgeryKey, plan surgery.Plan, eval surgery.Eval) {
 	c.mu.Unlock()
 }
 
-// counters returns the accumulated (hits, misses). Under parallelism > 1
+// counters returns the (hits, misses) accumulated since this cache was
+// built — a thin wrapper over the telemetry counters. Under parallelism > 1
 // two workers may race to a first lookup of the same key and both miss, so
 // the split is approximate there; hits+misses always equals the number of
 // surgery optimizations requested.
 func (c *surgeryCache) counters() (hits, misses int64) {
-	return c.hits.Load(), c.misses.Load()
+	return c.hits.Value() - c.h0, c.misses.Value() - c.m0
 }

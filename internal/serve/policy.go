@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+)
+
+// Policy is the runtime's replanning hysteresis: it decides when an
+// ingested telemetry sample is worth a *full* replan (a fresh
+// block-coordinate optimization, including server reassignment) versus the
+// dispatcher's cheap refresh path (surgery + allocation at pinned
+// assignments, plus evacuation on health flips). Every threshold is over
+// virtual trace time — the policy never reads a wall clock.
+type Policy struct {
+	// RelChange is the minimum relative change of any server's observed
+	// uplink rate — against the rates the current full plan was computed
+	// at — that requests a full replan. 0 requests one on every uplink
+	// observation (the replan-always policy).
+	RelChange float64
+	// MinInterval is the debounce: full replans are at least this many
+	// virtual seconds apart. 0 disables the debounce.
+	MinInterval float64
+	// Budget caps full replans inside any trailing Window seconds; 0 means
+	// unlimited. A drift that arrives over budget falls back to the cheap
+	// refresh path and is journaled as deferred.
+	Budget int
+	// Window is the trailing budget window in seconds (only meaningful
+	// with Budget > 0).
+	Window float64
+	// NeverReplan pins the initial plan forever: samples are validated and
+	// metered but trigger neither full replans nor cheap refreshes — the
+	// static-deployment control arm.
+	NeverReplan bool
+}
+
+// AlwaysReplan returns the policy that fully replans on every uplink
+// observation — the upper-bound (and most expensive) control arm.
+func AlwaysReplan() Policy { return Policy{} }
+
+// NeverReplan returns the policy that never touches the initial plan — the
+// lower-bound control arm.
+func NeverReplan() Policy { return Policy{NeverReplan: true} }
+
+// Hysteresis returns the default production policy: full replans only on
+// >= 20% uplink drift, debounced to one per 25 s, at most 3 per trailing
+// 60 s; everything else rides the cheap refresh path.
+func Hysteresis() Policy {
+	return Policy{RelChange: 0.2, MinInterval: 25, Budget: 3, Window: 60}
+}
+
+// Validate rejects non-finite or negative policy parameters.
+func (p Policy) Validate() error {
+	check := func(name string, v float64) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("serve: policy %s %g is not a non-negative finite number", name, v)
+		}
+		return nil
+	}
+	if err := check("RelChange", p.RelChange); err != nil {
+		return err
+	}
+	if err := check("MinInterval", p.MinInterval); err != nil {
+		return err
+	}
+	if err := check("Window", p.Window); err != nil {
+		return err
+	}
+	if p.Budget < 0 {
+		return fmt.Errorf("serve: policy Budget %d is negative", p.Budget)
+	}
+	if p.Budget > 0 && p.Window <= 0 {
+		return fmt.Errorf("serve: policy Budget %d needs a positive Window", p.Budget)
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"edgesurgeon/internal/faults"
+	"edgesurgeon/internal/joint"
+	"edgesurgeon/internal/netmodel"
+	"edgesurgeon/internal/sim"
+	"edgesurgeon/internal/telemetry"
+)
+
+// fadingScenario is the replay fixture: the static test links are replaced
+// with two-state fading channels so the recorded trace actually drifts.
+func fadingScenario(t testing.TB) *joint.Scenario {
+	t.Helper()
+	sc := testScenario(t, 4, 40)
+	mk := func(name string, lo, hi float64, rtt float64, seed int64) netmodel.Link {
+		link, err := netmodel.NewFading(name, netmodel.FadingConfig{
+			States:    []float64{netmodel.Mbps(lo), netmodel.Mbps(hi)},
+			MeanDwell: 8, Horizon: 120, RTT: rtt, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return link
+	}
+	sc.Servers[0].Link = mk("wlan-a", 8, 40, 0.004, 21)
+	sc.Servers[1].Link = mk("wlan-b", 5, 24, 0.006, 22)
+	return sc
+}
+
+// recordReplayTrace records the drifting-bandwidth + fault trace the replay
+// tests ingest: 12 samples over 60 s with server 1 crashed in [20, 35).
+func recordReplayTrace(t testing.TB) []telemetry.Sample {
+	t.Helper()
+	sc := fadingScenario(t)
+	servers := make([]sim.ServerConfig, len(sc.Servers))
+	for i, s := range sc.Servers {
+		servers[i] = sim.ServerConfig{Profile: s.Profile, Link: s.Link}
+	}
+	sched := faults.MustNew(faults.Window{Kind: faults.ServerCrash, Server: 1, Start: 20, End: 35})
+	trace, err := sim.RecordTrace(servers, sched, 60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace
+}
+
+// encodePlan renders every decision a plan carries into a deterministic
+// text form, so two replays can be compared byte for byte.
+func encodePlan(p *joint.Plan) string {
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	var b strings.Builder
+	fmt.Fprintf(&b, "planner=%s objective=%s feasible=%t\n", p.PlannerName, g(p.Objective), p.Feasible)
+	for ui := range p.Decisions {
+		d := &p.Decisions[ui]
+		fmt.Fprintf(&b, "  u%02d server=%d plan=%s shares=%s/%s latency=%s\n",
+			ui, d.Server, d.Plan, g(d.ComputeShare), g(d.BandwidthShare), g(d.Latency()))
+	}
+	return b.String()
+}
+
+// runReplay replays the fixture trace through a fresh runtime at the given
+// planner parallelism and returns the three byte-comparable artifacts: the
+// full plan sequence, the decision journal, and the metrics dump.
+func runReplay(t testing.TB, trace []telemetry.Sample, parallelism int) (plans, journal, metrics string) {
+	t.Helper()
+	rt, err := New(Config{
+		Scenario: fadingScenario(t),
+		Planner:  &joint.Planner{Opt: joint.Options{Parallelism: parallelism}},
+		Policy:   Hysteresis(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	b.WriteString(encodePlan(rt.Current()))
+	for i := range trace {
+		plan, err := rt.Ingest(trace[i])
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		fmt.Fprintf(&b, "t=%g\n%s", trace[i].Time, encodePlan(plan))
+	}
+	return b.String(), rt.Journal().String(), rt.Metrics().Text()
+}
+
+// stripCacheLines drops the surgery-cache hit/miss split, whose division
+// (though not whose sum) is racy under parallel planning, and returns the
+// split's sum alongside the remaining lines.
+func stripCacheLines(metrics string) (rest string, cacheSum int64) {
+	var keep []string
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.Contains(line, "surgery_cache") {
+			fields := strings.Fields(line)
+			n, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+			if err != nil {
+				panic(fmt.Sprintf("unparseable cache line %q", line))
+			}
+			cacheSum += n
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n"), cacheSum
+}
+
+func TestReplayDeterminism(t *testing.T) {
+	trace := recordReplayTrace(t)
+	plans1, journal1, metrics1 := runReplay(t, trace, 1)
+	plans2, journal2, metrics2 := runReplay(t, trace, 1)
+
+	if plans1 != plans2 {
+		t.Fatalf("plan sequences diverged across identical replays:\n--- first ---\n%s\n--- second ---\n%s", plans1, plans2)
+	}
+	if journal1 != journal2 {
+		t.Fatalf("journals diverged:\n--- first ---\n%s\n--- second ---\n%s", journal1, journal2)
+	}
+	if metrics1 != metrics2 {
+		t.Fatalf("metrics diverged:\n--- first ---\n%s\n--- second ---\n%s", metrics1, metrics2)
+	}
+
+	// The replay exercised both replan tiers, or determinism is vacuous.
+	if !strings.Contains(journal1, string(EventFullReplan)) {
+		t.Fatalf("trace triggered no full replan:\n%s", journal1)
+	}
+	if !strings.Contains(journal1, string(EventCheapRefresh)) && !strings.Contains(journal1, string(EventDeferredInterval)) {
+		t.Fatalf("trace exercised no cheap refresh:\n%s", journal1)
+	}
+}
+
+// TestReplayParallelismInvariance pins the PR1 guarantee end to end: the
+// control plane's entire observable output — plans, journal, metrics — is
+// identical whether the planner fans out or runs serially. Only the
+// surgery-cache hit/miss *split* may shift under parallel racing misses;
+// its sum must not.
+func TestReplayParallelismInvariance(t *testing.T) {
+	trace := recordReplayTrace(t)
+	plans1, journal1, metrics1 := runReplay(t, trace, 1)
+	plans4, journal4, metrics4 := runReplay(t, trace, 4)
+
+	if plans1 != plans4 {
+		t.Fatalf("plan sequences diverged across parallelism levels:\n--- serial ---\n%s\n--- parallel ---\n%s", plans1, plans4)
+	}
+	if journal1 != journal4 {
+		t.Fatalf("journals diverged across parallelism levels:\n--- serial ---\n%s\n--- parallel ---\n%s", journal1, journal4)
+	}
+	rest1, sum1 := stripCacheLines(metrics1)
+	rest4, sum4 := stripCacheLines(metrics4)
+	if rest1 != rest4 {
+		t.Fatalf("metrics diverged across parallelism levels:\n--- serial ---\n%s\n--- parallel ---\n%s", rest1, rest4)
+	}
+	if sum1 != sum4 {
+		t.Fatalf("surgery cache hit+miss sum %d (serial) != %d (parallel)", sum1, sum4)
+	}
+}

@@ -1,0 +1,358 @@
+// Package serve is the online control plane: a Runtime that owns a
+// joint.Dispatcher, ingests timestamped telemetry samples (per-user uplink
+// rates and per-server health, recorded live or synthesized from
+// faults.Schedule / simulator traces), and decides *when* to replan using
+// the debounce/hysteresis Policy — full block-coordinate replans when the
+// environment has genuinely drifted, the dispatcher's cheap
+// evacuation/refresh path otherwise. All decisions run on the virtual
+// clock carried by the samples themselves; nothing in the decision path
+// reads wall time, so replaying a recorded trace is bit-identical — the
+// replay tests pin the plan sequence, the decision journal and the metric
+// values byte for byte.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"edgesurgeon/internal/joint"
+	"edgesurgeon/internal/netmodel"
+	"edgesurgeon/internal/telemetry"
+)
+
+// Journal event kinds recorded by the runtime, one per ingested sample
+// (plus the initial plan at construction).
+const (
+	// EventInitialPlan is the construction-time plan.
+	EventInitialPlan telemetry.EventKind = "initial-plan"
+	// EventFullReplan is a fresh block-coordinate replan at observed rates.
+	EventFullReplan telemetry.EventKind = "full-replan"
+	// EventCheapRefresh is a dispatcher refresh (surgery + allocation at
+	// pinned assignments, evacuation on health flips).
+	EventCheapRefresh telemetry.EventKind = "cheap-refresh"
+	// EventDeferredInterval is a drift that wanted a full replan but was
+	// debounced by Policy.MinInterval (cheap refresh ran instead).
+	EventDeferredInterval telemetry.EventKind = "deferred-min-interval"
+	// EventDeferredBudget is a drift that wanted a full replan but was over
+	// Policy.Budget for the trailing window (cheap refresh ran instead).
+	EventDeferredBudget telemetry.EventKind = "deferred-budget"
+	// EventNoChange is a sample that observed nothing actionable (or any
+	// sample under the never-replan policy).
+	EventNoChange telemetry.EventKind = "no-change"
+)
+
+// Config assembles a Runtime.
+type Config struct {
+	// Scenario is the deployment being served. The runtime keeps its own
+	// link-rate view, so the scenario is not mutated.
+	Scenario *joint.Scenario
+	// Planner is the strategy for full replans and the dispatcher's cheap
+	// rounds (nil = default joint planner). The runtime instruments a copy;
+	// the caller's planner is not modified.
+	Planner *joint.Planner
+	// Policy is the replanning hysteresis (zero value = AlwaysReplan).
+	Policy Policy
+	// Metrics receives all instrumentation (nil = a fresh registry,
+	// retrievable via Runtime.Metrics).
+	Metrics *telemetry.Registry
+}
+
+// Runtime is the online serving loop's state machine. Methods are safe for
+// concurrent use (the HTTP endpoints read while a replay ingests), but
+// ingestion itself is serialized: samples are a totally ordered stream.
+type Runtime struct {
+	mu      sync.Mutex
+	sc      *joint.Scenario
+	planner *joint.Planner
+	policy  Policy
+	disp    *joint.Dispatcher
+	reg     *telemetry.Registry
+	journal telemetry.Journal
+
+	clock     float64   // virtual time of the last accepted sample
+	rates     []float64 // last-known per-server uplink bps (always > 0)
+	planRates []float64 // rates the current full plan was computed at
+	down      []bool    // per-server health state, mirrors the dispatcher's
+	lastFull  float64   // virtual time of the last full replan
+	fullTimes []float64 // full-replan times inside the trailing budget window
+
+	cSamples, cRejected, cFull, cCheap, cDeferred, cNoChange *telemetry.Counter
+	gObjective, gFeasible, gClock                            *telemetry.Gauge
+	hDrift                                                   *telemetry.Histogram
+}
+
+// New validates the configuration, plans the scenario once (the initial
+// plan, journaled at virtual time 0) and returns the running control plane.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Scenario == nil {
+		return nil, fmt.Errorf("serve: config needs a scenario")
+	}
+	if err := cfg.Policy.Validate(); err != nil {
+		return nil, err
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	base := cfg.Planner
+	if base == nil {
+		base = &joint.Planner{}
+	}
+	// Instrument a private copy so the caller's planner keeps its options.
+	planner := &joint.Planner{Opt: base.Opt}
+	planner.Opt.Metrics = reg
+
+	rt := &Runtime{
+		sc:      cfg.Scenario,
+		planner: planner,
+		policy:  cfg.Policy,
+		reg:     reg,
+
+		cSamples:   reg.Counter("serve.samples"),
+		cRejected:  reg.Counter("serve.samples_rejected"),
+		cFull:      reg.Counter("serve.replans.full"),
+		cCheap:     reg.Counter("serve.replans.cheap"),
+		cDeferred:  reg.Counter("serve.replans.deferred"),
+		cNoChange:  reg.Counter("serve.no_change"),
+		gObjective: reg.Gauge("serve.plan.objective"),
+		gFeasible:  reg.Gauge("serve.plan.feasible"),
+		gClock:     reg.Gauge("serve.clock"),
+		hDrift:     reg.Histogram("serve.uplink_rel_change", 0.05, 0.1, 0.2, 0.4, 0.8),
+	}
+	disp, err := joint.NewDispatcher(cfg.Scenario, planner)
+	if err != nil {
+		return nil, err
+	}
+	disp.Instrument(reg)
+	rt.disp = disp
+	rt.rates = make([]float64, len(cfg.Scenario.Servers))
+	horizon := cfg.Scenario.PlanningHorizon
+	if horizon <= 0 {
+		horizon = 60
+	}
+	for s := range cfg.Scenario.Servers {
+		rt.rates[s] = netmodel.MeanRate(cfg.Scenario.Servers[s].Link, horizon)
+	}
+	rt.planRates = append([]float64(nil), rt.rates...)
+	rt.down = make([]bool, len(cfg.Scenario.Servers))
+	rt.publish(disp.Current())
+	rt.journal.Record(telemetry.Event{
+		Time: 0, Kind: EventInitialPlan, Value: disp.Current().Objective,
+		Reason: disp.Current().PlannerName,
+	})
+	return rt, nil
+}
+
+// Current returns the active plan.
+func (rt *Runtime) Current() *joint.Plan {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.disp.Current()
+}
+
+// Clock returns the virtual time of the last accepted sample.
+func (rt *Runtime) Clock() float64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.clock
+}
+
+// Metrics returns the runtime's registry.
+func (rt *Runtime) Metrics() *telemetry.Registry { return rt.reg }
+
+// Journal returns the replan-decision journal.
+func (rt *Runtime) Journal() *telemetry.Journal { return &rt.journal }
+
+// FullReplans returns how many full replans have run (excluding the
+// initial plan).
+func (rt *Runtime) FullReplans() int64 { return rt.cFull.Value() }
+
+// Ingest validates one telemetry sample, advances the virtual clock,
+// decides between full replan / cheap refresh / nothing under the policy,
+// and returns the now-active plan. A rejected sample (typed
+// *joint.BadObservationError for malformed values, plain errors for
+// structural mismatches) leaves clock, plan and dispatcher untouched.
+func (rt *Runtime) Ingest(s telemetry.Sample) (*joint.Plan, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+
+	if err := rt.validate(&s); err != nil {
+		rt.cRejected.Inc()
+		return nil, err
+	}
+	rt.clock = s.Time
+	rt.cSamples.Inc()
+	rt.gClock.Set(s.Time)
+
+	// Fold the sample into the runtime's view of the environment.
+	drifted := false
+	maxRel := 0.0
+	for i, r := range s.Uplinks {
+		if r > 0 {
+			drifted = true
+			rt.rates[i] = r
+			if rel := math.Abs(r-rt.planRates[i]) / rt.planRates[i]; rel > maxRel {
+				maxRel = rel
+			}
+		}
+	}
+	if drifted {
+		rt.hDrift.Observe(maxRel)
+	}
+	healthObserved := s.Health != nil
+	if healthObserved {
+		for i, up := range s.Health {
+			rt.down[i] = !up
+		}
+	}
+
+	if rt.policy.NeverReplan || (!drifted && !healthObserved) {
+		rt.cNoChange.Inc()
+		rt.journal.Record(telemetry.Event{
+			Time: s.Time, Kind: EventNoChange, Value: rt.disp.Current().Objective,
+		})
+		return rt.disp.Current(), nil
+	}
+
+	// Hysteresis: does this drift deserve a full replan, and may we afford
+	// one now?
+	deferred := telemetry.EventKind("")
+	wantFull := drifted && maxRel >= rt.policy.RelChange
+	if wantFull && rt.policy.MinInterval > 0 && s.Time-rt.lastFull < rt.policy.MinInterval {
+		wantFull, deferred = false, EventDeferredInterval
+	}
+	if wantFull && rt.policy.Budget > 0 {
+		live := rt.fullTimes[:0]
+		for _, ft := range rt.fullTimes {
+			if ft > s.Time-rt.policy.Window {
+				live = append(live, ft)
+			}
+		}
+		rt.fullTimes = live
+		if len(rt.fullTimes) >= rt.policy.Budget {
+			wantFull, deferred = false, EventDeferredBudget
+		}
+	}
+
+	if wantFull {
+		if err := rt.fullReplan(s.Time, maxRel); err != nil {
+			return nil, err
+		}
+		return rt.disp.Current(), nil
+	}
+	return rt.cheapRefresh(&s, deferred, maxRel)
+}
+
+// fullReplan rebuilds the deployment plan from scratch against the
+// last-known uplink rates (frozen as static links), reapplies the current
+// health state, and makes the result the dispatcher's new pristine base.
+func (rt *Runtime) fullReplan(now, maxRel float64) error {
+	frozen := *rt.sc
+	frozen.Servers = append([]joint.Server(nil), rt.sc.Servers...)
+	frozen.Users = append([]joint.User(nil), rt.sc.Users...)
+	for i := range frozen.Servers {
+		orig := rt.sc.Servers[i].Link
+		frozen.Servers[i].Link = netmodel.NewStatic(orig.Name(), rt.rates[i], orig.RTT())
+	}
+	disp, err := joint.NewDispatcher(&frozen, rt.planner)
+	if err != nil {
+		return fmt.Errorf("serve: full replan at t=%g: %w", now, err)
+	}
+	disp.Instrument(rt.reg)
+	anyDown := false
+	up := make([]bool, len(rt.down))
+	for i, dn := range rt.down {
+		up[i] = !dn
+		anyDown = anyDown || dn
+	}
+	if anyDown {
+		if _, err := disp.ObserveHealth(up); err != nil {
+			return fmt.Errorf("serve: full replan at t=%g: applying health: %w", now, err)
+		}
+	}
+	rt.disp = disp
+	copy(rt.planRates, rt.rates)
+	rt.lastFull = now
+	rt.fullTimes = append(rt.fullTimes, now)
+	rt.cFull.Inc()
+	plan := disp.Current()
+	rt.publish(plan)
+	rt.journal.Record(telemetry.Event{
+		Time: now, Kind: EventFullReplan, Value: plan.Objective,
+		Reason: fmt.Sprintf("max uplink drift %.3g >= %.3g", maxRel, rt.policy.RelChange),
+	})
+	return nil
+}
+
+// cheapRefresh routes the sample through the dispatcher's inexpensive
+// path: evacuation/restore on health flips, surgery + allocation at pinned
+// assignments for rate drift.
+func (rt *Runtime) cheapRefresh(s *telemetry.Sample, deferred telemetry.EventKind, maxRel float64) (*joint.Plan, error) {
+	plan, err := rt.disp.Observe(s.Health, s.Uplinks)
+	if err != nil {
+		return nil, fmt.Errorf("serve: refresh at t=%g: %w", s.Time, err)
+	}
+	rt.cCheap.Inc()
+	kind := EventCheapRefresh
+	reason := fmt.Sprintf("drift %.3g below threshold", maxRel)
+	if deferred != "" {
+		kind = deferred
+		rt.cDeferred.Inc()
+		reason = fmt.Sprintf("drift %.3g wanted full replan", maxRel)
+	}
+	rt.publish(plan)
+	rt.journal.Record(telemetry.Event{Time: s.Time, Kind: kind, Value: plan.Objective, Reason: reason})
+	return plan, nil
+}
+
+// publish mirrors the active plan into the gauges.
+func (rt *Runtime) publish(plan *joint.Plan) {
+	rt.gObjective.Set(plan.Objective)
+	if plan.Feasible {
+		rt.gFeasible.Set(1)
+	} else {
+		rt.gFeasible.Set(0)
+	}
+}
+
+// validate is the ingestion boundary: malformed values are rejected with
+// index-named *joint.BadObservationError before they can reach the
+// dispatcher or perturb the runtime's state.
+func (rt *Runtime) validate(s *telemetry.Sample) error {
+	if math.IsNaN(s.Time) || math.IsInf(s.Time, 0) {
+		return &joint.BadObservationError{Server: -1, Rate: s.Time, Field: "sample time"}
+	}
+	if s.Time < rt.clock {
+		return &joint.BadObservationError{
+			Server: -1, Rate: s.Time, Field: "sample time",
+			Reason: fmt.Sprintf("precedes the virtual clock %g", rt.clock),
+		}
+	}
+	if s.Uplinks != nil && len(s.Uplinks) != len(rt.sc.Servers) {
+		return fmt.Errorf("serve: sample at t=%g observed %d uplink rates for %d servers", s.Time, len(s.Uplinks), len(rt.sc.Servers))
+	}
+	if s.Health != nil && len(s.Health) != len(rt.sc.Servers) {
+		return fmt.Errorf("serve: sample at t=%g observed %d health states for %d servers", s.Time, len(s.Health), len(rt.sc.Servers))
+	}
+	for i, r := range s.Uplinks {
+		if math.IsNaN(r) || math.IsInf(r, 0) {
+			return &joint.BadObservationError{Server: i, Rate: r}
+		}
+		if r < 0 {
+			return &joint.BadObservationError{Server: i, Rate: r, Reason: "is negative"}
+		}
+	}
+	return nil
+}
+
+// Replay ingests an entire recorded trace in order and returns the final
+// plan. The error names the offending sample index.
+func (rt *Runtime) Replay(samples []telemetry.Sample) (*joint.Plan, error) {
+	for i := range samples {
+		if _, err := rt.Ingest(samples[i]); err != nil {
+			return nil, fmt.Errorf("serve: sample %d: %w", i, err)
+		}
+	}
+	return rt.Current(), nil
+}

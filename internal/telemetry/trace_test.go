@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleTrace() []Sample {
+	return []Sample{
+		{Time: 0, Uplinks: []float64{40e6, 25e6}, Health: []bool{true, true}},
+		{Time: 5, Uplinks: []float64{38e6, 0}},
+		{Time: 10, Health: []bool{false, true}},
+		{Time: 10}, // repeated timestamps and empty samples are legal
+		{Time: 15.5, Uplinks: []float64{41e6, 26e6}, Health: []bool{true, true}},
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	text := TraceString(tr)
+	got, err := DecodeTrace(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatalf("round trip changed trace:\n%v\nvs\n%v", got, tr)
+	}
+	// Canonical text is stable under a second round trip.
+	if again := TraceString(got); again != text {
+		t.Fatalf("re-encode differs:\n%s\nvs\n%s", again, text)
+	}
+}
+
+func TestDecodeTraceSkipsBlankLines(t *testing.T) {
+	text := "\n" + `{"t":1}` + "\n\n" + `{"t":2}` + "\n"
+	got, err := DecodeTrace(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Time != 1 || got[1].Time != 2 {
+		t.Fatalf("decoded %v", got)
+	}
+}
+
+func TestDecodeTraceRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad json":          `{"t":`,
+		"unknown field":     `{"t":1,"bogus":2}`,
+		"trailing data":     `{"t":1} {"t":2}`,
+		"negative time":     `{"t":-1}`,
+		"time regression":   `{"t":5}` + "\n" + `{"t":4}`,
+		"width change":      `{"t":1,"uplinks":[1,2]}` + "\n" + `{"t":2,"uplinks":[1]}`,
+		"uplink vs health":  `{"t":1,"uplinks":[1,2],"health":[true]}`,
+		"non-number uplink": `{"t":1,"uplinks":["x"]}`,
+	}
+	for name, text := range cases {
+		if _, err := DecodeTrace(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: accepted %q", name, text)
+		}
+	}
+}
+
+func FuzzTraceDecode(f *testing.F) {
+	f.Add(TraceString(sampleTrace()))
+	f.Add(`{"t":1,"uplinks":[1e6,2e6]}`)
+	f.Add(`{"t":0,"health":[true,false]}`)
+	f.Add(`{"t":-0}`)
+	f.Add("not json at all")
+	f.Add(`{"t":1e309}`)
+	f.Fuzz(func(t *testing.T, text string) {
+		tr, err := DecodeTrace(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode to a canonical form that decodes
+		// back to exactly the same trace.
+		canon := TraceString(tr)
+		again, err := DecodeTrace(strings.NewReader(canon))
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%s", err, canon)
+		}
+		if !reflect.DeepEqual(again, tr) {
+			t.Fatalf("round trip changed trace:\n%v\nvs\n%v", again, tr)
+		}
+	})
+}
