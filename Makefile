@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race fuzz-smoke bench bench-smoke serve-smoke experiments examples cover clean
+.PHONY: all build vet test test-short test-race fuzz-smoke bench bench-smoke bench-planner-smoke serve-smoke experiments examples cover clean
 
 all: build vet test
 
@@ -27,12 +27,15 @@ test-race:
 	$(GO) test -race -run 'TestE21SmallScaleAgrees' ./internal/experiments
 
 # Short fuzzing pass over the optimizer kernels (~10 s per target): the
-# surgery optimizer must never panic or emit invalid plans, and the
-# deadline-aware allocator must keep shares in [0, 1] summing to <= 1.
+# surgery optimizer must never panic or emit invalid plans, the
+# deadline-aware allocator must keep shares in [0, 1] summing to <= 1, and
+# end-to-end planning of arbitrary decoded scenarios (monolithic and
+# sharded routes both) must never panic or break the share invariants.
 fuzz-smoke:
 	$(GO) test ./internal/surgery -run '^$$' -fuzz FuzzSurgeryOptimize -fuzztime 10s
 	$(GO) test ./internal/alloc -run '^$$' -fuzz FuzzAllocDeadline -fuzztime 10s
 	$(GO) test ./internal/telemetry -run '^$$' -fuzz FuzzTraceDecode -fuzztime 10s
+	$(GO) test ./internal/config -run '^$$' -fuzz FuzzPlanScenario -fuzztime 10s
 
 # One benchmark per evaluation artifact (E1-E21) plus kernel microbenchmarks.
 bench:
@@ -42,6 +45,13 @@ bench:
 # multi-user scaling benchmarks with allocation accounting.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineEvents|BenchmarkE4' -benchtime=1x -benchmem . ./internal/sim
+
+# Planner perf guard for CI: the CI-sized E23 scale study (one dual-arm
+# size plus one sharded-only size) writing BENCH_planner.json, with the
+# metric keys dashboards consume asserted present.
+bench-planner-smoke:
+	$(GO) run ./cmd/experiments -run E23 -quick -bench-json BENCH_planner.json \
+		-require-metrics E23.speedup_vs_monolithic,E23.gap_worst_pct,E23.users_max,E23.sharded_wallclock_sec
 
 # Control-plane smoke for CI: replay the bundled drifting + faulty trace
 # through cmd/edgeserved and pin the hysteresis policy's full-replan count

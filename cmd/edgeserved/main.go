@@ -97,6 +97,7 @@ func main() {
 		expectFull   = flag.Int("expect-full-replans", -1, "exit non-zero unless the replay ran exactly this many full replans")
 		httpAddr     = flag.String("http", "", "serve /metrics and /plan on this address after the replay")
 		parallelism  = flag.Int("parallelism", 0, "planner worker count (0 = GOMAXPROCS); plans are identical across levels")
+		shardThresh  = flag.Int("shard-threshold", 0, "route full replans of scenarios with at least this many users through the hierarchical sharded planner (0 = always monolithic)")
 	)
 	flag.Var(&faultSpecs, "fault", "fault window kind:server:start:end[:factor] (repeatable, record mode)")
 	flag.Parse()
@@ -124,7 +125,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := replay(sc, policy, *tracePath, *journalPath, *expectFull, *httpAddr, *parallelism); err != nil {
+		if err := replay(sc, policy, *tracePath, *journalPath, *expectFull, *httpAddr, *parallelism, *shardThresh); err != nil {
 			fatal(err)
 		}
 	default:
@@ -205,7 +206,7 @@ func buildPolicy(name string, relChange, minInterval float64, budget int, window
 
 // replay drives the recorded trace through a fresh control plane and
 // reports what the policy decided.
-func replay(sc *joint.Scenario, policy serve.Policy, tracePath, journalPath string, expectFull int, httpAddr string, parallelism int) error {
+func replay(sc *joint.Scenario, policy serve.Policy, tracePath, journalPath string, expectFull int, httpAddr string, parallelism, shardThreshold int) error {
 	in, err := os.Open(tracePath)
 	if err != nil {
 		return err
@@ -217,7 +218,7 @@ func replay(sc *joint.Scenario, policy serve.Policy, tracePath, journalPath stri
 	}
 	rt, err := serve.New(serve.Config{
 		Scenario: sc,
-		Planner:  &joint.Planner{Opt: joint.Options{Parallelism: parallelism}},
+		Planner:  &joint.Planner{Opt: joint.Options{Parallelism: parallelism, ShardThreshold: shardThreshold}},
 		Policy:   policy,
 	})
 	if err != nil {

@@ -8,6 +8,8 @@
 //	experiments -list           # list experiments
 //	experiments -csv dir        # also export every table as CSV into dir
 //	experiments -run E21 -bench-json BENCH_sim.json   # perf trajectory
+//	experiments -run E23 -quick -bench-json BENCH_planner.json \
+//	    -require-metrics E23.speedup_vs_monolithic,E23.gap_worst_pct   # CI smoke
 package main
 
 import (
@@ -24,14 +26,21 @@ import (
 
 func main() {
 	var (
-		runList   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
-		list      = flag.Bool("list", false, "list experiment IDs and exit")
-		csvDir    = flag.String("csv", "", "directory to export tables as CSV")
-		benchJSON = flag.String("bench-json", "", "write machine-readable metrics (events/sec, speedups, allocs) of the experiments that report them to this JSON file")
+		runList    = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		csvDir     = flag.String("csv", "", "directory to export tables as CSV")
+		benchJSON  = flag.String("bench-json", "", "write machine-readable metrics (events/sec, speedups, allocs) of the experiments that report them to this JSON file")
+		quick      = flag.Bool("quick", false, "substitute CI-sized variants for experiments that define one (same metric keys, shrunken inputs)")
+		requireStr = flag.String("require-metrics", "", "comma-separated EID.metric keys that must be present in the collected metrics; missing keys exit non-zero (CI guard for -bench-json consumers)")
 	)
 	flag.Parse()
 
 	reg := experiments.Registry()
+	if *quick {
+		for id, runner := range experiments.QuickVariants() {
+			reg[id] = runner
+		}
+	}
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
@@ -75,6 +84,32 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *requireStr != "" {
+		if err := requireMetrics(metrics, strings.Split(*requireStr, ",")); err != nil {
+			fmt.Fprintf(os.Stderr, "require-metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// requireMetrics checks that every "EID.metric" key was actually collected —
+// the CI guard that keeps a refactor from silently dropping a benchmark
+// scalar that dashboards or regression gates consume.
+func requireMetrics(metrics map[string]map[string]float64, keys []string) error {
+	for _, key := range keys {
+		key = strings.TrimSpace(key)
+		if key == "" {
+			continue
+		}
+		id, name, ok := strings.Cut(key, ".")
+		if !ok {
+			return fmt.Errorf("malformed key %q (want EID.metric)", key)
+		}
+		if _, found := metrics[id][name]; !found {
+			return fmt.Errorf("metric %q missing from the collected results (experiment not run, or key renamed)", key)
+		}
+	}
+	return nil
 }
 
 // writeBenchJSON records the perf-trajectory scalars (E21's events/sec,

@@ -71,6 +71,9 @@ type (
 	// PlannerOptions tunes the joint planner. Parallelism bounds the
 	// worker pool the planner fans per-user surgery across (<= 0 means
 	// GOMAXPROCS); plans are byte-identical at every parallelism level.
+	// ShardThreshold routes scenarios with at least that many users
+	// through the hierarchical sharded planner (0 keeps every scenario on
+	// the exact monolithic path).
 	PlannerOptions = joint.Options
 )
 

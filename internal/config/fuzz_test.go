@@ -1,0 +1,82 @@
+package config
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"edgesurgeon/internal/joint"
+)
+
+// FuzzPlanScenario drives arbitrary bytes through the full scenario
+// pipeline: JSON decode → catalog resolution → validation → hierarchical
+// planner. Whatever the input, the pipeline must never panic, and every
+// plan that comes back must be structurally sound — finite non-negative
+// objective, per-server share budgets respected, offloading decisions
+// always server-backed. Undecodable or invalid inputs are rejected by
+// Parse and simply skipped; the interesting surface is the planner running
+// on every scenario that survives validation.
+func FuzzPlanScenario(f *testing.F) {
+	// Seed with the bundled serving smoke scenario plus minimal hand-rolled
+	// shapes: a static-uplink scenario and one big enough to shard.
+	smoke, err := os.ReadFile("../../cmd/edgeserved/testdata/smoke-scenario.json")
+	if err != nil {
+		f.Fatalf("reading bundled smoke scenario: %v", err)
+	}
+	f.Add(smoke)
+	f.Add([]byte(`{"servers":[{"name":"s","profile":"edge-gpu-t4","uplinkMbps":40,"rttMs":5}],
+		"users":[{"name":"u","model":"resnet18","device":"rpi4","rate":2,"deadlineMs":400}]}`))
+	f.Add([]byte(`{"servers":[
+		{"name":"a","profile":"edge-gpu-t4","uplinkMbps":60,"rttMs":4},
+		{"name":"b","profile":"edge-cpu-16c","uplinkMbps":30,"rttMs":8}],
+		"users":[
+		{"name":"u0","model":"resnet18","device":"rpi4","rate":2},
+		{"name":"u1","model":"vgg16","device":"phone-soc","rate":1,"minAccuracy":0.6},
+		{"name":"u2","model":"mobilenetv2","device":"jetson-nano","rate":4,"weight":2},
+		{"name":"u3","model":"alexnet","device":"rpi4","rate":0.5,"deadlineMs":250}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, _, err := Parse(data)
+		if err != nil {
+			return // rejected input: the pipeline's job is to say no cleanly
+		}
+		if len(sc.Users) > 24 {
+			t.Skip("capped: plan cost grows with users; big scenarios add no new code paths")
+		}
+		// ShardThreshold 2 exercises both planner paths across the corpus:
+		// single-user scenarios stay monolithic, everything else shards (and
+		// the sharded path cross-checks against the monolithic core).
+		p := &joint.Planner{Opt: joint.Options{ShardThreshold: 2}}
+		plan, err := p.Plan(sc)
+		if err != nil {
+			return // planning can fail honestly (e.g. unmeetable accuracy floor)
+		}
+		if math.IsNaN(plan.Objective) || math.IsInf(plan.Objective, 0) || plan.Objective < 0 {
+			t.Fatalf("objective %g is not a finite non-negative number", plan.Objective)
+		}
+		compute := make([]float64, len(sc.Servers))
+		bandwidth := make([]float64, len(sc.Servers))
+		for i, d := range plan.Decisions {
+			if err := d.Plan.Validate(); err != nil {
+				t.Fatalf("user %d: invalid surgery plan: %v", i, err)
+			}
+			if l := d.Latency(); l <= 0 || math.IsNaN(l) || math.IsInf(l, 0) {
+				t.Fatalf("user %d: latency %g", i, l)
+			}
+			switch {
+			case d.Server >= len(sc.Servers):
+				t.Fatalf("user %d: assigned to unknown server %d", i, d.Server)
+			case d.Server >= 0:
+				compute[d.Server] += d.ComputeShare
+				bandwidth[d.Server] += d.BandwidthShare
+			case d.Plan.Partition != sc.Users[i].Model.NumUnits():
+				t.Fatalf("user %d: offloading plan without a server", i)
+			}
+		}
+		for s := range sc.Servers {
+			if compute[s] > 1+1e-6 || bandwidth[s] > 1+1e-6 {
+				t.Fatalf("server %d over-allocated: compute %g, bandwidth %g", s, compute[s], bandwidth[s])
+			}
+		}
+	})
+}

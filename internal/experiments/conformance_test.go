@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"testing"
+
+	"edgesurgeon/internal/joint"
+	"edgesurgeon/internal/sim"
+)
+
+// Cross-layer conformance: the planner's closed-form latency predictions
+// versus the event-driven simulator's measured means, on the E-series
+// reference scenarios. The planner is a deterministic expectation model —
+// it prices service and transfer time but not stochastic queueing — so the
+// simulator's means sit above prediction by an amount that grows with
+// load. The bands below pin that envelope per scenario (measured deviation
+// plus ~50% headroom): they are drift detectors, not accuracy claims. A
+// failure means one of the layers moved — the planner's latency model, the
+// simulator's service path, or the surgery evaluator they share — without
+// the others following, which is exactly the cross-layer regression this
+// test exists to catch. Everything is seeded, so the comparison is exact
+// and repeatable.
+func TestPlannerSimulatorConformance(t *testing.T) {
+	const horizon = 120.0
+	cases := []struct {
+		name string
+		sc   *joint.Scenario
+		opt  joint.Options
+		// aggBand bounds |sum(measured)-sum(predicted)|/sum(predicted);
+		// userBand bounds each user's relative deviation.
+		aggBand, userBand float64
+	}{
+		// E4 user-scaling reference points: light and loaded multi-user mixes.
+		{"E4-light", mixedScenario(6, 2, 0.5, 80), joint.Options{}, 0.15, 0.20},
+		{"E4-loaded", mixedScenario(12, 3, 0.35, 60), joint.Options{}, 0.40, 0.65},
+		// E21/E23 wide mix, monolithic and sharded: the hierarchical planner
+		// must conform exactly as tightly as the monolithic one.
+		{"E21-wide", mixedScenario(24, 1.5, 0.6, 100), joint.Options{}, 0.18, 0.40},
+		{"E23-sharded", mixedScenario(24, 1.5, 0.6, 100), joint.Options{ShardThreshold: 1}, 0.18, 0.40},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := &joint.Planner{Opt: c.opt}
+			plan, res, err := joint.PlanAndSimulate(c.sc, p, horizon, sim.DedicatedShares)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sumPred, sumMeas float64
+			for i := range c.sc.Users {
+				pred := plan.Decisions[i].Latency()
+				meas := res.PerUser[i].Latency.Mean()
+				if res.PerUser[i].Latency.Count() == 0 {
+					t.Fatalf("user %d completed no tasks over the horizon", i)
+				}
+				sumPred += pred
+				sumMeas += meas
+				rel := (meas - pred) / pred
+				if rel > c.userBand || rel < -c.userBand {
+					t.Errorf("user %d: predicted %.4fs, simulated mean %.4fs (%.1f%% off, band ±%.0f%%)",
+						i, pred, meas, rel*100, c.userBand*100)
+				}
+			}
+			agg := (sumMeas - sumPred) / sumPred
+			if agg > c.aggBand || agg < -c.aggBand {
+				t.Errorf("aggregate: predicted %.4fs, simulated %.4fs (%.1f%% off, band ±%.0f%%)",
+					sumPred, sumMeas, agg*100, c.aggBand*100)
+			}
+		})
+	}
+}

@@ -7,10 +7,10 @@ import (
 
 func TestRegistryCompleteAndOrdered(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 22 {
-		t.Fatalf("got %d experiments, want 22: %v", len(ids), ids)
+	if len(ids) != 23 {
+		t.Fatalf("got %d experiments, want 23: %v", len(ids), ids)
 	}
-	if ids[0] != "E1" || ids[21] != "E22" {
+	if ids[0] != "E1" || ids[22] != "E23" {
 		t.Fatalf("bad ordering: %v", ids)
 	}
 	reg := Registry()
@@ -185,6 +185,31 @@ func TestE15CompressionHelpsAtLowBandwidth(t *testing.T) {
 
 func TestE16ProbeEscapesEquilibrium(t *testing.T) {
 	runReport(t, "E16") // the runner itself fails the shape via WARNING notes
+}
+
+// TestE23SmallScaleShape runs a shrunken E23 (the full one plans 100k
+// users): one dual-arm size plus one sharded-only size, asserting the
+// report shape and that every metric key the BENCH_planner.json consumers
+// require is emitted.
+func TestE23SmallScaleShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planner scale arms in -short mode")
+	}
+	r, err := e23Scale([]int{48}, []int{96}, 2, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "E23" {
+		t.Errorf("report ID %q", r.ID)
+	}
+	if len(r.Tables[0].Rows) != 2 {
+		t.Errorf("rows = %d, want 2", len(r.Tables[0].Rows))
+	}
+	for _, k := range []string{"cores", "users_max", "speedup_vs_monolithic", "gap_worst_pct", "sharded_wallclock_sec"} {
+		if _, ok := r.Metrics[k]; !ok {
+			t.Errorf("metric %q missing", k)
+		}
+	}
 }
 
 // TestE21SmallScaleAgrees runs a shrunken E21 (the full one sweeps 100k

@@ -90,6 +90,16 @@ func Registry() map[string]Runner {
 		"E20": E20AvailabilityUnderFailures,
 		"E21": E21ScaleThroughput,
 		"E22": E22ControlPlanePolicies,
+		"E23": E23PlannerScale,
+	}
+}
+
+// QuickVariants maps experiment IDs to CI-sized runners (the `experiments
+// -quick` flag): same table shape and metric keys as the full experiment,
+// shrunken inputs. Experiments without an entry run full-size either way.
+func QuickVariants() map[string]Runner {
+	return map[string]Runner{
+		"E23": E23QuickPlannerScale,
 	}
 }
 

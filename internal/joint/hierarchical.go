@@ -1,0 +1,671 @@
+package joint
+
+import (
+	"math"
+	"sort"
+
+	"edgesurgeon/internal/sim"
+	"edgesurgeon/internal/surgery"
+)
+
+// This file implements the hierarchical sharded planner — the scale path
+// behind Options.ShardThreshold. The monolithic block-coordinate loop is
+// exact but super-linear: its reassignment greedy evaluates O(users ×
+// servers) candidate moves per round, each against the full decision set,
+// which makes planning (not simulation) the bottleneck past a few thousand
+// users. The sharded path exploits the same independence structure the
+// sharded simulator does:
+//
+//  1. Users are clustered by server affinity (the planner's own greedy
+//     initial assignment) into shards — one shard per server, plus a
+//     singleton shard per provably local-only user, mirroring
+//     sim.ClusterByServer's component decomposition.
+//  2. Each server shard is planned concurrently by the unmodified
+//     monolithic core against a provisional capacity split: the shard's
+//     server at full capacity, shared only by the shard's own users.
+//  3. A small number of capacity-reconciliation rounds migrate users from
+//     pressured shards (infeasible, or above-average compute demand) into
+//     shards with slack, accepting only moves that strictly improve the
+//     global objective, then re-polish every shard with one global
+//     surgery + allocation pass. The loop stops when no move is accepted
+//     and the objective improvement falls under Epsilon.
+//
+// When shards never contend — no reconciliation move improves anything and
+// every shard's inner loop reaches an exact fixed point (the quantized
+// share grid makes fixed points exact, see ShareQuantum) — the sharded
+// plan is bit-identical to the monolithic one: the affinity clustering IS
+// the monolithic initial assignment, each shard's surgery environment is
+// server-local, and the merge preserves the monolithic per-server
+// allocation input order. The differential tests pin this, plus a ≤1%
+// objective gap on contended scenarios.
+
+// reconcileCandidateBudget bounds the candidate moves a reconciliation
+// round may evaluate. Below the budget every (user, target) pair is tried —
+// matching the monolithic reassignment greedy's coverage on differential
+// test sizes; above it, each shard nominates only its topK worst
+// contributors against the two least-loaded targets.
+const reconcileCandidateBudget = 4096
+
+// reconcileTopK is the per-shard candidate nomination floor in the
+// budget-bounded regime: even the largest shards nominate at least this
+// many movers.
+const reconcileTopK = 4
+
+// reconcileWorkBudget caps one budget-regime reconciliation round's total
+// move-evaluation work, measured in user-slots (candidates × donor shard
+// size — a tryMove re-allocates both touched shards, which is linear in
+// their sizes). A fixed work budget makes every round cost about the same
+// wall-clock at any scale: mid-size scenarios with small shards nominate
+// most of each donor shard, 100k-user shards fall back to the topK floor.
+const reconcileWorkBudget = 1 << 19
+
+// crossCheckUserLimit bounds the monolithic cross-check pass to
+// verification-sized scenarios — the differential test corpus. Above it the
+// cross-check would double planning cost for no contractual benefit: the
+// sharded path's large-scale quality story is the measured E23 gap, not a
+// per-plan guarantee.
+const crossCheckUserLimit = 64
+
+// reconcileMaxTargets is the per-candidate target-server count in the
+// budget-bounded regime.
+const reconcileMaxTargets = 2
+
+// planSharded is the hierarchical planning entry point. opt is the
+// already-defaulted option set (see Planner.opts).
+func (p *Planner) planSharded(sc *Scenario, opt Options) (*Plan, error) {
+	assign, order := initialAssignment(sc)
+
+	// Local-only pre-pass: a user whose surgery optimum stays on-device
+	// even at the most optimistic share (1.0 of its affinity server) never
+	// offloads at any share the planner could allocate — lowering shares
+	// only worsens crossing plans and leaves on-device plans untouched.
+	// Such users become singleton shards with their optimal plan already in
+	// hand, exactly the local components of the simulator's decomposition.
+	pin, err := pinLocalUsers(sc, opt, assign)
+	if err != nil {
+		return nil, err
+	}
+
+	clusters := sim.ClusterByServer(len(sc.Users), len(sc.Servers), false, func(ui int) int {
+		if pin[ui] != nil {
+			return -1
+		}
+		return assign[ui]
+	})
+
+	// Plan every server shard concurrently with the monolithic core. The
+	// fan-out is index-ordered and each shard plan is a pure function of
+	// its sub-scenario, so the result is identical at every parallelism
+	// level (the PR1 guarantee, one level up).
+	shardPlans := make([]*Plan, len(clusters))
+	workers := opt.parallelism()
+	inner := opt
+	inner.ShardThreshold = 0 // shards plan monolithically
+	inner.Metrics = nil      // instrumentation is aggregated once, below
+	inner.Parallelism = innerParallelism(workers, countServerShards(clusters))
+	planErr := forEachIndex(workers, len(clusters), func(ci int) error {
+		c := clusters[ci]
+		if c.Server < 0 {
+			return nil // pinned local singleton: decision already computed
+		}
+		sub := &Scenario{
+			Users:           make([]User, len(c.Users)),
+			Servers:         []Server{sc.Servers[c.Server]},
+			Curves:          sc.Curves,
+			PlanningHorizon: sc.PlanningHorizon,
+		}
+		for li, gu := range c.Users {
+			sub.Users[li] = sc.Users[gu]
+		}
+		sp := Planner{Opt: inner}
+		plan, err := sp.Plan(sub)
+		if err != nil {
+			return err
+		}
+		shardPlans[ci] = plan
+		return nil
+	})
+	if planErr != nil {
+		return nil, planErr
+	}
+
+	st, bestObj := mergeShardPlans(sc, opt, clusters, shardPlans, pin, order)
+
+	// Capacity reconciliation: migrate load between shards, then re-polish
+	// with the monotone surgery + allocation pair. The best-objective
+	// snapshot guarantees reconciliation can never return a worse plan than
+	// the plain merge.
+	traj := []float64{bestObj}
+	bestDs := append([]Decision(nil), st.ds...)
+	bestFeasible := st.feasible
+	maxShardIters := 0
+	var cacheHits, cacheMisses int64
+	for _, sp := range shardPlans {
+		if sp == nil {
+			continue
+		}
+		if sp.Iterations > maxShardIters {
+			maxShardIters = sp.Iterations
+		}
+		cacheHits += sp.SurgeryCacheHits
+		cacheMisses += sp.SurgeryCacheMisses
+	}
+
+	prev := bestObj
+	rounds := 0
+	// Small scenarios reconcile with the monolithic greedy's own round
+	// budget: there the goal is fidelity to the monolithic reference (the
+	// differential bound), not wall-clock. At scale ReconcileRounds governs.
+	maxRounds := opt.ReconcileRounds
+	if len(sc.Users)*len(sc.Servers) <= reconcileCandidateBudget && opt.MaxIters > maxRounds {
+		maxRounds = opt.MaxIters
+	}
+	for r := 0; r < maxRounds; r++ {
+		if opt.DisableReassignment || len(sc.Servers) < 2 {
+			break
+		}
+		moved, touched := st.reconcileStep()
+		if moved == 0 && r == 0 {
+			// Nothing to rebalance: every shard is already at its own fixed
+			// point, so the merge IS the plan (and, on non-contended
+			// scenarios, the monolithic plan bit for bit).
+			break
+		}
+		// Polish only the shards a migration touched: one surgery pass at
+		// the post-move shares, then re-allocation. Untouched shards sit at
+		// their inner fixed point, where the pass would be a no-op — skipping
+		// them keeps reconciliation cost proportional to contention, not to
+		// scenario size.
+		if err := st.polishServers(touched); err != nil {
+			return nil, err
+		}
+		st.recomputeFeasible()
+		cur := objective(sc, st.ds)
+		traj = append(traj, cur)
+		rounds++
+		if cur < bestObj {
+			bestObj = cur
+			bestDs = append(bestDs[:0], st.ds...)
+			bestFeasible = st.feasible
+		}
+		if moved == 0 && prev-cur <= opt.Epsilon*math.Max(prev, 1e-12) {
+			break
+		}
+		prev = cur
+	}
+
+	// Small scenarios finish with a monolithic cross-check: greedy
+	// first-improvement descent is path dependent, and shards converged in
+	// isolation can land in a different basin than the interleaved
+	// monolithic loop. At verification sizes the cross-check pins the
+	// differential contract — sharded never worse than monolithic — by
+	// construction; ties keep the sharded decisions, so the bit-identity
+	// guarantee on non-contended scenarios is unaffected. Above the limit
+	// the check is skipped (it would double planning cost): there the
+	// reconciliation rounds are the whole story and E23 reports the
+	// measured gap instead.
+	if len(sc.Users) <= crossCheckUserLimit {
+		mopt := opt
+		mopt.ShardThreshold = 0
+		mopt.Metrics = nil
+		mp := Planner{Opt: mopt}
+		if mono, err := mp.Plan(sc); err == nil {
+			cacheHits += mono.SurgeryCacheHits
+			cacheMisses += mono.SurgeryCacheMisses
+			traj = append(traj, mono.Objective)
+			if mono.Objective < bestObj {
+				bestObj = mono.Objective
+				bestDs = append(bestDs[:0], mono.Decisions...)
+				bestFeasible = mono.Feasible
+			}
+		}
+	}
+
+	plan := &Plan{
+		Decisions:   bestDs,
+		Objective:   bestObj,
+		Feasible:    bestFeasible,
+		Iterations:  maxShardIters + rounds,
+		Trajectory:  traj,
+		PlannerName: p.Name(),
+		Shards:      len(clusters),
+	}
+	if st.cache != nil {
+		h, m := st.cache.counters()
+		plan.SurgeryCacheHits = cacheHits + h
+		plan.SurgeryCacheMisses = cacheMisses + m
+	}
+	if opt.Metrics != nil {
+		opt.Metrics.Counter("planner.plans").Inc()
+		opt.Metrics.Counter("planner.iterations").Add(int64(plan.Iterations))
+		opt.Metrics.Counter("planner.shards").Add(int64(len(clusters)))
+		// Shard-internal cache traffic is aggregated here (the inner
+		// planners run uninstrumented so "planner.plans" counts one plan).
+		opt.Metrics.Counter("planner.surgery_cache.hits").Add(cacheHits)
+		opt.Metrics.Counter("planner.surgery_cache.misses").Add(cacheMisses)
+	}
+	return plan, nil
+}
+
+// innerParallelism splits the worker budget across shard-internal planners:
+// when there are fewer shards than workers the spare workers fan out inside
+// each shard instead of idling. Plans are identical at every split — this
+// only shapes wall-clock.
+func innerParallelism(workers, serverShards int) int {
+	if serverShards <= 0 {
+		return 1
+	}
+	inner := workers / serverShards
+	if inner < 1 {
+		inner = 1
+	}
+	return inner
+}
+
+func countServerShards(clusters []sim.Cluster) int {
+	n := 0
+	for _, c := range clusters {
+		if c.Server >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// pinLocalUsers returns, per user, the pre-computed local Decision when the
+// user is provably local-only (nil otherwise): its surgery optimum on its
+// affinity server at the full share stays on-device, so no allocation the
+// planner could produce would make it offload. The check fans across the
+// worker pool; each user's probe is a pure function of the scenario.
+func pinLocalUsers(sc *Scenario, opt Options, assign []int) ([]*Decision, error) {
+	pin := make([]*Decision, len(sc.Users))
+	var cache *surgeryCache
+	if !opt.DisableSurgeryCache {
+		cache = newSurgeryCache(nil)
+	}
+	err := forEachIndex(opt.parallelism(), len(sc.Users), func(ui int) error {
+		u := &sc.Users[ui]
+		srv := &sc.Servers[assign[ui]]
+		env := surgery.Env{
+			Device:         u.Device,
+			Difficulty:     u.Difficulty,
+			Curves:         sc.Curves,
+			Rate:           u.planningRate(),
+			TxFactor:       u.TxCompression,
+			Server:         srv.Profile,
+			ComputeShare:   1,
+			BandwidthShare: 1,
+			UplinkBps:      sc.meanUplink(assign[ui]),
+			RTT:            srv.RTT,
+		}
+		sopt := opt.Surgery
+		sopt.FixedPartition = surgery.FreePartition
+		if u.MinAccuracy > 0 {
+			sopt.MinAccuracy = u.MinAccuracy
+		}
+		if opt.DisableSurgery {
+			sopt.NoExits = true
+		}
+		var key surgeryKey
+		var plan surgery.Plan
+		var ev surgery.Eval
+		var ok bool
+		if cache != nil {
+			key = keyFor(u.Model, env, sopt)
+			plan, ev, ok = cache.get(key)
+		}
+		if !ok {
+			var err error
+			plan, ev, err = surgery.Optimize(u.Model, env, sopt)
+			if err != nil {
+				// An infeasible full-share probe (e.g. an accuracy floor no
+				// plan meets) is a real planning failure; surface it with
+				// the monolithic path's error rather than mislabeling the
+				// user local.
+				return err
+			}
+			if cache != nil {
+				cache.put(key, plan, ev)
+			}
+		}
+		if plan.Partition < u.Model.NumUnits() {
+			return nil // the optimum crosses: this user genuinely wants a server
+		}
+		pin[ui] = &Decision{Plan: plan, Eval: ev, Server: -1}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pin, nil
+}
+
+// mergeShardPlans folds per-shard plans and pinned local decisions into one
+// global planning state. Per-server assignment lists replay the global
+// greedy acceptance order, so the allocation inputs downstream of the merge
+// see exactly the order the monolithic path would have used — a
+// prerequisite for the bit-identity guarantee on non-contended scenarios.
+func mergeShardPlans(sc *Scenario, opt Options, clusters []sim.Cluster, shardPlans []*Plan, pin []*Decision, order []int) (*state, float64) {
+	st := &state{sc: sc, opt: opt, feasible: true}
+	st.ds = make([]Decision, len(sc.Users))
+	st.assigned = make([][]int, len(sc.Servers))
+	st.srvFeasible = make([]bool, len(sc.Servers))
+	for s := range st.srvFeasible {
+		st.srvFeasible[s] = true
+	}
+	st.uplink = make([]float64, len(sc.Servers))
+	for s := range sc.Servers {
+		st.uplink[s] = sc.meanUplink(s)
+	}
+	st.workers = opt.parallelism()
+	if !opt.DisableSurgeryCache {
+		st.cache = newSurgeryCache(opt.Metrics)
+	}
+
+	for ci, c := range clusters {
+		if c.Server < 0 {
+			gu := c.Users[0]
+			st.ds[gu] = *pin[gu]
+			continue
+		}
+		sp := shardPlans[ci]
+		for li, gu := range c.Users {
+			d := sp.Decisions[li]
+			if d.Server >= 0 {
+				d.Server = c.Server // shard-local server 0 → global index
+			}
+			st.ds[gu] = d
+		}
+		if !sp.Feasible {
+			st.feasible = false
+			st.srvFeasible[c.Server] = false
+		}
+	}
+	// Assignment lists in global acceptance order (see initialAssignment).
+	for _, ui := range order {
+		if s := st.ds[ui].Server; s >= 0 {
+			st.assigned[s] = append(st.assigned[s], ui)
+		}
+	}
+	st.recomputeFeasible()
+	return st, objective(sc, st.ds)
+}
+
+// recomputeFeasible rebuilds the global feasibility flag from the
+// per-server flags plus the deadline checks of device-only users, which no
+// allocator ever sees (allocation only covers server-assigned users).
+func (st *state) recomputeFeasible() {
+	st.feasible = true
+	for _, ok := range st.srvFeasible {
+		st.feasible = st.feasible && ok
+	}
+	for ui := range st.ds {
+		if st.ds[ui].Server >= 0 {
+			continue
+		}
+		u := &st.sc.Users[ui]
+		if u.Deadline > 0 && st.ds[ui].Latency() > u.Deadline {
+			st.feasible = false
+		}
+	}
+}
+
+// polishServers runs one surgery refresh for every user on a touched
+// server (envs snapshotted first, index-ordered fan-out — the surgeryStep
+// purity discipline) followed by re-allocation of each touched server.
+func (st *state) polishServers(touched []bool) error {
+	var users []int
+	for s, t := range touched {
+		if t {
+			users = append(users, st.assigned[s]...)
+		}
+	}
+	envs := make([]surgery.Env, len(users))
+	for i, ui := range users {
+		envs[i] = st.env(ui)
+	}
+	if err := forEachIndex(st.workers, len(users), func(i int) error {
+		return st.optimizeUser(users[i], envs[i])
+	}); err != nil {
+		return err
+	}
+	for s, t := range touched {
+		if t {
+			st.allocServer(s)
+		}
+	}
+	return nil
+}
+
+// reconcileStep is one capacity-reconciliation migration pass: move users
+// out of pressured shards (infeasible first, then above-average normalized
+// compute demand) into shards with slack, accepting only moves that
+// strictly improve the objective over the two touched shards. Every
+// candidate is evaluated in-place and rolled back exactly on rejection, so
+// a pass costs O(candidates × shard size) rather than the monolithic
+// greedy's O(users × servers × n). Candidate nomination, target order, and
+// acceptance are all deterministic (pressure order with index tiebreaks,
+// first improvement wins). Returns the accepted move count and the set of
+// servers any accepted move touched.
+func (st *state) reconcileStep() (int, []bool) {
+	nServers := len(st.sc.Servers)
+	touched := make([]bool, nServers)
+	if nServers < 2 {
+		return 0, touched
+	}
+	if len(st.sc.Users)*nServers <= reconcileCandidateBudget {
+		// Small scenarios get the monolithic reassignment greedy verbatim —
+		// users in index order, targets in server order, first global
+		// improvement wins — so the differential gap versus the monolithic
+		// planner stays within the pinned bound.
+		return st.reconcileExhaustive(touched)
+	}
+
+	// Normalized compute demand per server: how much of the server each
+	// shard's plans want at full capacity.
+	demand := make([]float64, nServers)
+	for s := range st.assigned {
+		for _, ui := range st.assigned[s] {
+			demand[s] += st.ds[ui].Eval.ServerSec * math.Max(st.sc.Users[ui].planningRate(), 0)
+		}
+	}
+
+	// Donor order: infeasible shards first, then by descending demand;
+	// index breaks ties. Every shard donates — even a below-average shard
+	// can hold users whose latency improves elsewhere (a slow server with
+	// slack is still the wrong home for a heavy user) — but the pressured
+	// shards go first so they drain while targets still have room.
+	donors := make([]int, 0, nServers)
+	for s := 0; s < nServers; s++ {
+		donors = append(donors, s)
+	}
+	sort.SliceStable(donors, func(a, b int) bool {
+		da, db := donors[a], donors[b]
+		if st.srvFeasible[da] != st.srvFeasible[db] {
+			return !st.srvFeasible[da]
+		}
+		return demand[da] > demand[db]
+	})
+
+	// Accept on the two-shard objective alone: in the budget-bounded regime
+	// the full objective is too expensive to consult per candidate, and the
+	// untouched shards contribute a constant to it anyway.
+	localAccept := func(before, after float64) bool {
+		return after < before*(1-1e-9)
+	}
+	moved := 0
+	for _, s := range donors {
+		for _, ui := range st.nominate(s, st.nominationWidth(len(donors), s)) {
+			if st.ds[ui].Server != s {
+				continue // an earlier accepted move already relocated it
+			}
+			for _, to := range st.targets(s, demand) {
+				ok := st.tryMove(ui, s, to, localAccept)
+				if ok {
+					// Keep the demand ledger current so later target picks
+					// see the shifted load.
+					d := st.ds[ui].Eval.ServerSec * math.Max(st.sc.Users[ui].planningRate(), 0)
+					demand[s] -= d
+					demand[to] += d
+					touched[s], touched[to] = true, true
+					moved++
+					break
+				}
+			}
+		}
+	}
+	return moved, touched
+}
+
+// reconcileExhaustive is the small-scenario reconciliation pass: the
+// monolithic reassignment greedy's exact scan — users in index order,
+// targets in server-index order, first move that strictly improves the
+// GLOBAL objective (same relative threshold) wins — evaluated in place with
+// exact rollback instead of on scratch clones. Matching the monolithic
+// scan keeps the differential gap on test-sized scenarios within the
+// pinned bound.
+func (st *state) reconcileExhaustive(touched []bool) (int, []bool) {
+	moved := 0
+	for ui := range st.sc.Users {
+		from := st.ds[ui].Server
+		if from < 0 {
+			continue
+		}
+		base := objective(st.sc, st.ds)
+		for to := range st.sc.Servers {
+			if to == from {
+				continue
+			}
+			globalAccept := func(before, after float64) bool {
+				// base - before + after is the global objective the move
+				// leaves behind: only the two touched shards' terms change.
+				return base-before+after < base*(1-1e-9)
+			}
+			if st.tryMove(ui, from, to, globalAccept) {
+				touched[from], touched[to] = true, true
+				moved++
+				break
+			}
+		}
+	}
+	return moved, touched
+}
+
+// nominationWidth sizes a donor shard's candidate list so one round's
+// total move-evaluation work (candidates × shard size, times the target
+// fan-out) stays under reconcileWorkBudget regardless of scale, never
+// dropping below the reconcileTopK floor.
+func (st *state) nominationWidth(nDonors, s int) int {
+	size := len(st.assigned[s])
+	if nDonors < 1 {
+		nDonors = 1
+	}
+	if size < 1 {
+		size = 1
+	}
+	k := reconcileWorkBudget / (nDonors * reconcileMaxTargets * size)
+	if k < reconcileTopK {
+		k = reconcileTopK
+	}
+	return k
+}
+
+// nominate picks the donor shard's candidate movers: the topK users by
+// weighted-latency contribution (the ones a move could help most — a
+// bounded nomination even for infeasible shards, since draining an
+// overload is shedStep's job, not reconciliation's). The returned order is
+// deterministic.
+func (st *state) nominate(s, topK int) []int {
+	users := st.assigned[s]
+	if len(users) <= topK {
+		return append([]int(nil), users...)
+	}
+	cand := append([]int(nil), users...)
+	contrib := func(ui int) float64 {
+		return st.sc.Users[ui].weight() * st.ds[ui].Latency()
+	}
+	sort.SliceStable(cand, func(a, b int) bool { return contrib(cand[a]) > contrib(cand[b]) })
+	return cand[:topK]
+}
+
+// targets orders the candidate destination servers for a move out of s:
+// ascending demand (the shards with the most slack first), index tiebreak,
+// bounded to reconcileMaxTargets.
+func (st *state) targets(s int, demand []float64) []int {
+	out := make([]int, 0, len(demand)-1)
+	for t := range demand {
+		if t != s {
+			out = append(out, t)
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return demand[out[a]] < demand[out[b]] })
+	if len(out) > reconcileMaxTargets {
+		out = out[:reconcileMaxTargets]
+	}
+	return out
+}
+
+// tryMove evaluates migrating user ui from server s to server to, in place:
+// move, re-run the mover's surgery, re-allocate both servers, re-run the
+// mover once more at its allocated share (the same refresh pattern the
+// monolithic candidate evaluation uses). accept decides on the objective
+// restricted to the two touched shards, before versus after the move; on
+// rejection every touched decision, list, and feasibility flag is restored
+// exactly. A surgery failure on the probe rejects the candidate (the
+// mover's current plan remains valid).
+func (st *state) tryMove(ui, s, to int, accept func(before, after float64) bool) bool {
+	savedFrom := append([]int(nil), st.assigned[s]...)
+	savedTo := append([]int(nil), st.assigned[to]...)
+	savedFeasFrom, savedFeasTo := st.srvFeasible[s], st.srvFeasible[to]
+	touched := make([]int, 0, len(savedFrom)+len(savedTo))
+	touched = append(touched, savedFrom...)
+	touched = append(touched, savedTo...)
+	savedDs := make([]Decision, len(touched))
+	for i, u := range touched {
+		savedDs[i] = st.ds[u]
+	}
+	before := st.twoShardObjective(s, to)
+
+	restore := func() {
+		st.assigned[s] = st.assigned[s][:0]
+		st.assigned[s] = append(st.assigned[s], savedFrom...)
+		st.assigned[to] = st.assigned[to][:0]
+		st.assigned[to] = append(st.assigned[to], savedTo...)
+		st.srvFeasible[s], st.srvFeasible[to] = savedFeasFrom, savedFeasTo
+		for i, u := range touched {
+			st.ds[u] = savedDs[i]
+		}
+	}
+
+	st.moveUser(ui, s, to)
+	if err := st.refreshUser(ui); err != nil {
+		restore()
+		return false
+	}
+	st.allocServer(s)
+	st.allocServer(to)
+	if err := st.refreshUser(ui); err != nil {
+		restore()
+		return false
+	}
+	after := st.twoShardObjective(s, to)
+	if accept(before, after) {
+		return true
+	}
+	restore()
+	return false
+}
+
+// twoShardObjective sums the weighted latency of every user currently on
+// the two given servers — the only objective terms a migration between them
+// can change.
+func (st *state) twoShardObjective(a, b int) float64 {
+	var sum float64
+	for _, ui := range st.assigned[a] {
+		sum += st.sc.Users[ui].weight() * st.ds[ui].Latency()
+	}
+	for _, ui := range st.assigned[b] {
+		sum += st.sc.Users[ui].weight() * st.ds[ui].Latency()
+	}
+	return sum
+}

@@ -3,6 +3,7 @@ package joint
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"edgesurgeon/internal/alloc"
 	"edgesurgeon/internal/surgery"
@@ -45,6 +46,21 @@ type Options struct {
 	// Caching never changes planner output because surgery always runs at
 	// quantized shares — see ShareQuantum.
 	DisableSurgeryCache bool
+	// ShardThreshold, when positive, routes scenarios with at least this
+	// many users through the hierarchical sharded planner: users are
+	// clustered by server affinity into shards (local-only users become
+	// singleton shards, mirroring the simulator's component decomposition),
+	// each shard is planned concurrently by the monolithic block-coordinate
+	// core against its own server's capacity, and a small number of
+	// capacity-reconciliation rounds migrate load between shards until the
+	// objective stops improving. Scenarios below the threshold keep the
+	// exact monolithic path bit for bit. Zero disables sharding entirely.
+	ShardThreshold int
+	// ReconcileRounds bounds the sharded planner's capacity-reconciliation
+	// rounds (default 6; the loop stops early once no migration is accepted
+	// and the objective improvement falls under Epsilon). Only consulted on
+	// the sharded path.
+	ReconcileRounds int
 	// Metrics, when non-nil, receives the planner's instrumentation:
 	// "planner.plans" and "planner.iterations" counters plus the
 	// "planner.surgery_cache.hits"/".misses" series (accumulated across
@@ -93,6 +109,9 @@ func (p *Planner) opts() Options {
 	if o.Epsilon <= 0 {
 		o.Epsilon = 1e-3
 	}
+	if o.ReconcileRounds <= 0 {
+		o.ReconcileRounds = 6
+	}
 	return o
 }
 
@@ -109,6 +128,9 @@ func (p *Planner) Plan(sc *Scenario) (*Plan, error) {
 		return nil, fmt.Errorf("joint: scenario has no servers (use the local-only baseline for device-only studies)")
 	}
 	opt := p.opts()
+	if opt.ShardThreshold > 0 && len(sc.Users) >= opt.ShardThreshold {
+		return p.planSharded(sc, opt)
+	}
 	st, err := newState(sc, opt)
 	if err != nil {
 		return nil, err
@@ -285,7 +307,27 @@ func newState(sc *Scenario, opt Options) (*state, error) {
 		}
 		return st, nil
 	}
-	order := make([]int, len(sc.Users))
+	assign, order := initialAssignment(sc)
+	// Replay the acceptance order so each server's list keeps the
+	// historical (descending-work) allocation input order.
+	for _, ui := range order {
+		s := assign[ui]
+		st.ds[ui].Server = s
+		st.assigned[s] = append(st.assigned[s], ui)
+	}
+	st.equalShares()
+	return st, nil
+}
+
+// initialAssignment computes the planner's greedy initial user→server
+// mapping: heaviest provisioned work first onto the server with the
+// smallest normalized pending load (work / capacity). It returns the
+// mapping plus the acceptance order (users by descending work), which
+// newState replays to keep per-server lists in the historical order and the
+// sharded planner uses both as the server-affinity clustering and to merge
+// shard results in an order bit-compatible with the monolithic path.
+func initialAssignment(sc *Scenario) (assign, order []int) {
+	order = make([]int, len(sc.Users))
 	for i := range order {
 		order[i] = i
 	}
@@ -293,13 +335,12 @@ func newState(sc *Scenario, opt Options) (*state, error) {
 	for i, u := range sc.Users {
 		work[i] = float64(u.Model.TotalFLOPs()) * math.Max(u.planningRate(), 0.01)
 	}
-	// Insertion sort by descending work (N is small; avoids pulling in
-	// sort for a stable tie order).
-	for i := 1; i < len(order); i++ {
-		for j := i; j > 0 && work[order[j]] > work[order[j-1]]; j-- {
-			order[j], order[j-1] = order[j-1], order[j]
-		}
-	}
+	// Stable sort by descending work: the same permutation the historical
+	// insertion sort produced (both are stable under the same comparator),
+	// in O(n log n) so the 100k-user sharded path doesn't pay a quadratic
+	// setup.
+	sort.SliceStable(order, func(a, b int) bool { return work[order[a]] > work[order[b]] })
+	assign = make([]int, len(sc.Users))
 	load := make([]float64, len(sc.Servers))
 	for _, ui := range order {
 		best, bestLoad := 0, math.Inf(1)
@@ -309,12 +350,10 @@ func newState(sc *Scenario, opt Options) (*state, error) {
 				best, bestLoad = s, l
 			}
 		}
-		st.ds[ui].Server = best
-		st.assigned[best] = append(st.assigned[best], ui)
+		assign[ui] = best
 		load[best] += work[ui]
 	}
-	st.equalShares()
-	return st, nil
+	return assign, order
 }
 
 // equalShares resets every server's shares to the uniform split.

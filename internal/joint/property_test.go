@@ -133,6 +133,154 @@ func TestPlannerDeterministic(t *testing.T) {
 	}
 }
 
+// monotonicitySlack is the pinned tolerance band for the planner's
+// resource-monotonicity invariants. The block-coordinate planner is a
+// heuristic, so "more resources never hurt" is not a theorem — a changed
+// input can steer the greedy descent into a marginally different basin —
+// but on the seeded scenario corpus the violation never exceeds this band,
+// and the band is pinned so a regression that weakens the planner's
+// monotonicity shows up as a test failure, not a silent drift.
+const monotonicitySlack = 0.01
+
+// clone returns a deep-enough copy of sc for perturbation: fresh Users and
+// Servers slices (the pointed-to models, devices, and profiles are shared
+// immutables).
+func clone(sc *Scenario) *Scenario {
+	out := *sc
+	out.Users = append([]User(nil), sc.Users...)
+	out.Servers = append([]Server(nil), sc.Servers...)
+	return &out
+}
+
+// TestPlannerResourceMonotonicity pins the planner's monotonicity
+// invariants on seeded random scenarios, for both the monolithic and the
+// hierarchical sharded path: growing any resource — uplink bandwidth,
+// server capacity, or the server set itself — must never worsen the
+// objective beyond the pinned slack band.
+func TestPlannerResourceMonotonicity(t *testing.T) {
+	perturbations := []struct {
+		name  string
+		apply func(sc *Scenario) *Scenario
+	}{
+		{"double-bandwidth", func(sc *Scenario) *Scenario {
+			out := clone(sc)
+			for s := range out.Servers {
+				rate := sc.meanUplink(s)
+				out.Servers[s].Link = netmodel.NewStatic("l2x", 2*rate, 0)
+			}
+			return out
+		}},
+		{"double-capacity", func(sc *Scenario) *Scenario {
+			out := clone(sc)
+			for s := range out.Servers {
+				out.Servers[s].Profile = out.Servers[s].Profile.Scale(2, out.Servers[s].Profile.Name+"-2x")
+			}
+			return out
+		}},
+		{"add-server", func(sc *Scenario) *Scenario {
+			out := clone(sc)
+			biggest := sc.Servers[0]
+			for _, s := range sc.Servers[1:] {
+				if s.Profile.PeakFLOPS > biggest.Profile.PeakFLOPS {
+					biggest = s
+				}
+			}
+			extra := biggest
+			extra.Name = "extra"
+			out.Servers = append(out.Servers, extra)
+			return out
+		}},
+	}
+	planners := []struct {
+		name string
+		opt  Options
+	}{
+		{"monolithic", Options{}},
+		{"sharded", Options{ShardThreshold: 1}},
+	}
+	for _, pl := range planners {
+		t.Run(pl.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1234))
+			p := &Planner{Opt: pl.opt}
+			for trial := 0; trial < 12; trial++ {
+				sc := randomScenario(rng)
+				// Keep the links RTT-free so double-bandwidth is a pure
+				// resource increase (the random RTT would otherwise be lost
+				// when the link is rebuilt).
+				for s := range sc.Servers {
+					sc.Servers[s].Link = netmodel.NewStatic("l", sc.meanUplink(s), 0)
+				}
+				base, err := p.Plan(sc)
+				if err != nil {
+					t.Fatalf("trial %d: base plan: %v", trial, err)
+				}
+				for _, pert := range perturbations {
+					grown, err := p.Plan(pert.apply(sc))
+					if err != nil {
+						t.Fatalf("trial %d %s: %v", trial, pert.name, err)
+					}
+					if grown.Objective > base.Objective*(1+monotonicitySlack) {
+						t.Errorf("trial %d: %s worsened objective %.9g -> %.9g (%.2f%%)",
+							trial, pert.name, base.Objective, grown.Objective,
+							100*(grown.Objective/base.Objective-1))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPlannerUserRemovalMonotonicity pins the complementary invariant:
+// removing a user frees resources, so the remaining users' aggregate
+// weighted latency must never worsen beyond the slack band — on both
+// planner paths.
+func TestPlannerUserRemovalMonotonicity(t *testing.T) {
+	planners := []struct {
+		name string
+		opt  Options
+	}{
+		{"monolithic", Options{}},
+		{"sharded", Options{ShardThreshold: 1}},
+	}
+	for _, pl := range planners {
+		t.Run(pl.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(5678))
+			p := &Planner{Opt: pl.opt}
+			for trial := 0; trial < 10; trial++ {
+				sc := randomScenario(rng)
+				if len(sc.Users) < 2 {
+					continue
+				}
+				base, err := p.Plan(sc)
+				if err != nil {
+					t.Fatalf("trial %d: base plan: %v", trial, err)
+				}
+				drop := rng.Intn(len(sc.Users))
+				reduced := clone(sc)
+				reduced.Users = append(reduced.Users[:drop], reduced.Users[drop+1:]...)
+				after, err := p.Plan(reduced)
+				if err != nil {
+					t.Fatalf("trial %d: reduced plan: %v", trial, err)
+				}
+				var baseRest, afterRest float64
+				ai := 0
+				for i := range sc.Users {
+					if i == drop {
+						continue
+					}
+					baseRest += sc.Users[i].weight() * base.Decisions[i].Latency()
+					afterRest += reduced.Users[ai].weight() * after.Decisions[ai].Latency()
+					ai++
+				}
+				if afterRest > baseRest*(1+monotonicitySlack) {
+					t.Errorf("trial %d: removing user %d worsened the rest %.9g -> %.9g (%.2f%%)",
+						trial, drop, baseRest, afterRest, 100*(afterRest/baseRest-1))
+				}
+			}
+		})
+	}
+}
+
 // TestBestSnapshotNeverWorseThanTrajectoryMin verifies the returned
 // objective equals the minimum over the recorded trajectory (the
 // best-snapshot guarantee).

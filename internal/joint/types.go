@@ -191,10 +191,18 @@ type Plan struct {
 	// Feasible reports whether all deadline/stability constraints were
 	// satisfiable.
 	Feasible bool
-	// Iterations is the number of block-coordinate rounds executed.
+	// Iterations is the number of block-coordinate rounds executed. On the
+	// hierarchical sharded path it is the deepest shard's round count plus
+	// the reconciliation rounds that ran on top.
 	Iterations int
 	// Trajectory records the objective after every round (experiment E10).
+	// On the sharded path it starts at the merged per-shard objective and
+	// then records each capacity-reconciliation round.
 	Trajectory []float64
+	// Shards is the number of server-affinity shards the hierarchical
+	// planner decomposed the scenario into (local singletons included);
+	// zero when the plan came from the monolithic path.
+	Shards int
 	// PlannerName identifies the strategy that produced the plan.
 	PlannerName string
 	// SurgeryCacheHits and SurgeryCacheMisses count how many per-user

@@ -64,14 +64,14 @@ func encodePlan(p *joint.Plan) string {
 	return b.String()
 }
 
-// runReplay replays the fixture trace through a fresh runtime at the given
-// planner parallelism and returns the three byte-comparable artifacts: the
-// full plan sequence, the decision journal, and the metrics dump.
-func runReplay(t testing.TB, trace []telemetry.Sample, parallelism int) (plans, journal, metrics string) {
+// runReplay replays the fixture trace through a fresh runtime with the
+// given planner options and returns the three byte-comparable artifacts:
+// the full plan sequence, the decision journal, and the metrics dump.
+func runReplay(t testing.TB, trace []telemetry.Sample, opt joint.Options) (plans, journal, metrics string) {
 	t.Helper()
 	rt, err := New(Config{
 		Scenario: fadingScenario(t),
-		Planner:  &joint.Planner{Opt: joint.Options{Parallelism: parallelism}},
+		Planner:  &joint.Planner{Opt: opt},
 		Policy:   Hysteresis(),
 	})
 	if err != nil {
@@ -109,27 +109,40 @@ func stripCacheLines(metrics string) (rest string, cacheSum int64) {
 	return strings.Join(keep, "\n"), cacheSum
 }
 
+// TestReplayDeterminism pins byte-identical replays for both planner
+// routes: the monolithic path and the hierarchical sharded path
+// (ShardThreshold: 1 forces every full replan through planSharded).
 func TestReplayDeterminism(t *testing.T) {
 	trace := recordReplayTrace(t)
-	plans1, journal1, metrics1 := runReplay(t, trace, 1)
-	plans2, journal2, metrics2 := runReplay(t, trace, 1)
+	for _, tc := range []struct {
+		name string
+		opt  joint.Options
+	}{
+		{"monolithic", joint.Options{Parallelism: 1}},
+		{"sharded", joint.Options{Parallelism: 1, ShardThreshold: 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			plans1, journal1, metrics1 := runReplay(t, trace, tc.opt)
+			plans2, journal2, metrics2 := runReplay(t, trace, tc.opt)
 
-	if plans1 != plans2 {
-		t.Fatalf("plan sequences diverged across identical replays:\n--- first ---\n%s\n--- second ---\n%s", plans1, plans2)
-	}
-	if journal1 != journal2 {
-		t.Fatalf("journals diverged:\n--- first ---\n%s\n--- second ---\n%s", journal1, journal2)
-	}
-	if metrics1 != metrics2 {
-		t.Fatalf("metrics diverged:\n--- first ---\n%s\n--- second ---\n%s", metrics1, metrics2)
-	}
+			if plans1 != plans2 {
+				t.Fatalf("plan sequences diverged across identical replays:\n--- first ---\n%s\n--- second ---\n%s", plans1, plans2)
+			}
+			if journal1 != journal2 {
+				t.Fatalf("journals diverged:\n--- first ---\n%s\n--- second ---\n%s", journal1, journal2)
+			}
+			if metrics1 != metrics2 {
+				t.Fatalf("metrics diverged:\n--- first ---\n%s\n--- second ---\n%s", metrics1, metrics2)
+			}
 
-	// The replay exercised both replan tiers, or determinism is vacuous.
-	if !strings.Contains(journal1, string(EventFullReplan)) {
-		t.Fatalf("trace triggered no full replan:\n%s", journal1)
-	}
-	if !strings.Contains(journal1, string(EventCheapRefresh)) && !strings.Contains(journal1, string(EventDeferredInterval)) {
-		t.Fatalf("trace exercised no cheap refresh:\n%s", journal1)
+			// The replay exercised both replan tiers, or determinism is vacuous.
+			if !strings.Contains(journal1, string(EventFullReplan)) {
+				t.Fatalf("trace triggered no full replan:\n%s", journal1)
+			}
+			if !strings.Contains(journal1, string(EventCheapRefresh)) && !strings.Contains(journal1, string(EventDeferredInterval)) {
+				t.Fatalf("trace exercised no cheap refresh:\n%s", journal1)
+			}
+		})
 	}
 }
 
@@ -140,21 +153,31 @@ func TestReplayDeterminism(t *testing.T) {
 // its sum must not.
 func TestReplayParallelismInvariance(t *testing.T) {
 	trace := recordReplayTrace(t)
-	plans1, journal1, metrics1 := runReplay(t, trace, 1)
-	plans4, journal4, metrics4 := runReplay(t, trace, 4)
+	for _, tc := range []struct {
+		name      string
+		threshold int
+	}{
+		{"monolithic", 0},
+		{"sharded", 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			plans1, journal1, metrics1 := runReplay(t, trace, joint.Options{Parallelism: 1, ShardThreshold: tc.threshold})
+			plans4, journal4, metrics4 := runReplay(t, trace, joint.Options{Parallelism: 4, ShardThreshold: tc.threshold})
 
-	if plans1 != plans4 {
-		t.Fatalf("plan sequences diverged across parallelism levels:\n--- serial ---\n%s\n--- parallel ---\n%s", plans1, plans4)
-	}
-	if journal1 != journal4 {
-		t.Fatalf("journals diverged across parallelism levels:\n--- serial ---\n%s\n--- parallel ---\n%s", journal1, journal4)
-	}
-	rest1, sum1 := stripCacheLines(metrics1)
-	rest4, sum4 := stripCacheLines(metrics4)
-	if rest1 != rest4 {
-		t.Fatalf("metrics diverged across parallelism levels:\n--- serial ---\n%s\n--- parallel ---\n%s", rest1, rest4)
-	}
-	if sum1 != sum4 {
-		t.Fatalf("surgery cache hit+miss sum %d (serial) != %d (parallel)", sum1, sum4)
+			if plans1 != plans4 {
+				t.Fatalf("plan sequences diverged across parallelism levels:\n--- serial ---\n%s\n--- parallel ---\n%s", plans1, plans4)
+			}
+			if journal1 != journal4 {
+				t.Fatalf("journals diverged across parallelism levels:\n--- serial ---\n%s\n--- parallel ---\n%s", journal1, journal4)
+			}
+			rest1, sum1 := stripCacheLines(metrics1)
+			rest4, sum4 := stripCacheLines(metrics4)
+			if rest1 != rest4 {
+				t.Fatalf("metrics diverged across parallelism levels:\n--- serial ---\n%s\n--- parallel ---\n%s", rest1, rest4)
+			}
+			if sum1 != sum4 {
+				t.Fatalf("surgery cache hit+miss sum %d (serial) != %d (parallel)", sum1, sum4)
+			}
+		})
 	}
 }

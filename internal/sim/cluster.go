@@ -1,0 +1,49 @@
+package sim
+
+// Cluster is one server-affinity group: the users holding a claim on one
+// server's capacity, or a single local-only user. It is the shared
+// decomposition unit of the sharded simulator (components whose event
+// streams never interact) and of the hierarchical planner (shards planned
+// concurrently against their own server's capacity).
+type Cluster struct {
+	// Server is the owning server index, or -1 for a local singleton.
+	Server int
+	// Users lists the member user indices in ascending order — except under
+	// singleton clustering, where each cluster holds exactly one user.
+	Users []int
+}
+
+// ClusterByServer groups n users by server affinity. serverOf(ui) must
+// return the user's server index in [0, nServers) or -1 for a local-only
+// user. The result is deterministic: one cluster per non-empty server in
+// server-index order, then one singleton cluster per local user in user
+// order. When singletons is true every user becomes its own cluster in user
+// order regardless of affinity (the DedicatedShares/GPS regime, where no
+// cross-user coupling exists even on a shared server).
+func ClusterByServer(n, nServers int, singletons bool, serverOf func(ui int) int) []Cluster {
+	var out []Cluster
+	if singletons {
+		for ui := 0; ui < n; ui++ {
+			out = append(out, Cluster{Server: serverOf(ui), Users: []int{ui}})
+		}
+		return out
+	}
+	byServer := make([][]int, nServers)
+	var local []int
+	for ui := 0; ui < n; ui++ {
+		if s := serverOf(ui); s >= 0 {
+			byServer[s] = append(byServer[s], ui)
+		} else {
+			local = append(local, ui)
+		}
+	}
+	for s, users := range byServer {
+		if len(users) > 0 {
+			out = append(out, Cluster{Server: s, Users: users})
+		}
+	}
+	for _, ui := range local {
+		out = append(out, Cluster{Server: -1, Users: []int{ui}})
+	}
+	return out
+}

@@ -38,31 +38,16 @@ type component struct {
 	users  []int // global user indices, ascending
 }
 
-// partition decomposes the scenario into independent components.
+// partition decomposes the scenario into independent components via the
+// shared server-affinity clustering helper (also used by the hierarchical
+// planner's shard formation).
 func partition(cfg *Config) []component {
-	var comps []component
-	if cfg.Discipline == DedicatedShares {
-		for ui := range cfg.Users {
-			comps = append(comps, component{server: cfg.Users[ui].Server, users: []int{ui}})
-		}
-		return comps
-	}
-	byServer := make([][]int, len(cfg.Servers))
-	var local []int
-	for ui := range cfg.Users {
-		if s := cfg.Users[ui].Server; s >= 0 {
-			byServer[s] = append(byServer[s], ui)
-		} else {
-			local = append(local, ui)
-		}
-	}
-	for si, users := range byServer {
-		if len(users) > 0 {
-			comps = append(comps, component{server: si, users: users})
-		}
-	}
-	for _, ui := range local {
-		comps = append(comps, component{server: -1, users: []int{ui}})
+	clusters := ClusterByServer(len(cfg.Users), len(cfg.Servers),
+		cfg.Discipline == DedicatedShares,
+		func(ui int) int { return cfg.Users[ui].Server })
+	comps := make([]component, len(clusters))
+	for i, c := range clusters {
+		comps[i] = component{server: c.Server, users: c.Users}
 	}
 	return comps
 }
