@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race fuzz-smoke bench bench-smoke bench-planner-smoke serve-smoke experiments examples cover clean
+.PHONY: all build vet test test-short test-race fuzz-smoke bench bench-smoke bench-planner-smoke bench-frontier-smoke serve-smoke experiments examples cover clean
 
 all: build vet test
 
@@ -27,12 +27,14 @@ test-race:
 	$(GO) test -race -run 'TestE21SmallScaleAgrees' ./internal/experiments
 
 # Short fuzzing pass over the optimizer kernels (~10 s per target): the
-# surgery optimizer must never panic or emit invalid plans, the
+# surgery optimizer must never panic or emit invalid plans, frontier
+# lookups must stay bit-identical to the optimizer at snapped shares, the
 # deadline-aware allocator must keep shares in [0, 1] summing to <= 1, and
 # end-to-end planning of arbitrary decoded scenarios (monolithic and
 # sharded routes both) must never panic or break the share invariants.
 fuzz-smoke:
 	$(GO) test ./internal/surgery -run '^$$' -fuzz FuzzSurgeryOptimize -fuzztime 10s
+	$(GO) test ./internal/surgery -run '^$$' -fuzz FuzzFrontierLookup -fuzztime 10s
 	$(GO) test ./internal/alloc -run '^$$' -fuzz FuzzAllocDeadline -fuzztime 10s
 	$(GO) test ./internal/telemetry -run '^$$' -fuzz FuzzTraceDecode -fuzztime 10s
 	$(GO) test ./internal/config -run '^$$' -fuzz FuzzPlanScenario -fuzztime 10s
@@ -51,7 +53,14 @@ bench-smoke:
 # metric keys dashboards consume asserted present.
 bench-planner-smoke:
 	$(GO) run ./cmd/experiments -run E23 -quick -bench-json BENCH_planner.json \
-		-require-metrics E23.speedup_vs_monolithic,E23.gap_worst_pct,E23.users_max,E23.sharded_wallclock_sec
+		-require-metrics E23.speedup_vs_monolithic,E23.gap_worst_pct,E23.users_max,E23.sharded_wallclock_sec,E23.frontier_wallclock_sec
+
+# Frontier perf guard for CI: the CI-sized E24 frontier-table study (build
+# + plan timings with the frontier/optimizer parity cross-check), merged
+# into the same BENCH_planner.json, with its metric keys asserted present.
+bench-frontier-smoke:
+	$(GO) run ./cmd/experiments -run E24 -quick -bench-json BENCH_planner.json \
+		-require-metrics E24.speedup_vs_legacy,E24.frontier_wallclock_sec,E24.build_sec,E24.hit_rate_pct,E24.parity_ok
 
 # Control-plane smoke for CI: replay the bundled drifting + faulty trace
 # through cmd/edgeserved and pin the hysteresis policy's full-replan count

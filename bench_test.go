@@ -157,6 +157,30 @@ func BenchmarkSurgeryOptimizeConstrained(b *testing.B) {
 	}
 }
 
+// BenchmarkFrontierLookup measures one precomputed frontier-table lookup —
+// the operation that replaces BenchmarkSurgeryOptimize in the planner's
+// frontier-path hot loop. Table construction happens before the timer, as
+// it does in production (once per scenario, amortized over every lookup).
+func BenchmarkFrontierLookup(b *testing.B) {
+	env := benchEnv(b)
+	m := dnn.ResNet34()
+	opt := surgery.Options{FixedPartition: surgery.FreePartition}
+	table, err := surgery.BuildFrontier(surgery.KeyOf(m, env, opt), surgery.BuildOptions{Surgery: opt})
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid := table.Grid()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := grid.Value(i % grid.Levels())
+		bw := grid.Value((i * 7) % grid.Levels())
+		if plan, _ := table.Lookup(f, bw); plan.Model == nil {
+			b.Fatal("empty frontier lookup")
+		}
+	}
+}
+
 // BenchmarkSurgeryEvaluate measures a single plan evaluation.
 func BenchmarkSurgeryEvaluate(b *testing.B) {
 	env := benchEnv(b)
@@ -196,6 +220,26 @@ func BenchmarkAllocDeadlineAware(b *testing.B) {
 func BenchmarkJointPlan(b *testing.B) {
 	sc := benchScenario(b, 16)
 	planner := &joint.Planner{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := planner.Plan(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJointPlanFrontier is BenchmarkJointPlan with the planner's inner
+// loop answered by precomputed Pareto-frontier tables. The table set is
+// built before the timer (once per scenario in production); the measured
+// loop is planning alone, for a direct comparison against BenchmarkJointPlan.
+func BenchmarkJointPlanFrontier(b *testing.B) {
+	sc := benchScenario(b, 16)
+	set, err := joint.BuildFrontierSet(sc, joint.Options{}, surgery.BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	planner := &joint.Planner{Opt: joint.Options{Frontiers: set}}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -98,6 +98,7 @@ func main() {
 		httpAddr     = flag.String("http", "", "serve /metrics and /plan on this address after the replay")
 		parallelism  = flag.Int("parallelism", 0, "planner worker count (0 = GOMAXPROCS); plans are identical across levels")
 		shardThresh  = flag.Int("shard-threshold", 0, "route full replans of scenarios with at least this many users through the hierarchical sharded planner (0 = always monolithic)")
+		frontier     = flag.Bool("frontier", false, "precompute Pareto-frontier surgery tables per planned scenario (see serve.frontier.* metrics); plans follow the tables' geometric share grid")
 	)
 	flag.Var(&faultSpecs, "fault", "fault window kind:server:start:end[:factor] (repeatable, record mode)")
 	flag.Parse()
@@ -125,7 +126,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := replay(sc, policy, *tracePath, *journalPath, *expectFull, *httpAddr, *parallelism, *shardThresh); err != nil {
+		if err := replay(sc, policy, *tracePath, *journalPath, *expectFull, *httpAddr, *parallelism, *shardThresh, *frontier); err != nil {
 			fatal(err)
 		}
 	default:
@@ -206,7 +207,7 @@ func buildPolicy(name string, relChange, minInterval float64, budget int, window
 
 // replay drives the recorded trace through a fresh control plane and
 // reports what the policy decided.
-func replay(sc *joint.Scenario, policy serve.Policy, tracePath, journalPath string, expectFull int, httpAddr string, parallelism, shardThreshold int) error {
+func replay(sc *joint.Scenario, policy serve.Policy, tracePath, journalPath string, expectFull int, httpAddr string, parallelism, shardThreshold int, frontier bool) error {
 	in, err := os.Open(tracePath)
 	if err != nil {
 		return err
@@ -220,6 +221,7 @@ func replay(sc *joint.Scenario, policy serve.Policy, tracePath, journalPath stri
 		Scenario: sc,
 		Planner:  &joint.Planner{Opt: joint.Options{Parallelism: parallelism, ShardThreshold: shardThreshold}},
 		Policy:   policy,
+		Frontier: frontier,
 	})
 	if err != nil {
 		return err

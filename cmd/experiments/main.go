@@ -113,9 +113,22 @@ func requireMetrics(metrics map[string]map[string]float64, keys []string) error 
 }
 
 // writeBenchJSON records the perf-trajectory scalars (E21's events/sec,
-// speedup, allocs/event, cores) keyed by experiment ID.
+// speedup, allocs/event, cores) keyed by experiment ID. An existing file
+// is merged, not clobbered: experiments this invocation ran replace their
+// own entries and every other experiment's entry survives, so the
+// planner-smoke (E23) and frontier-smoke (E24) CI steps can share one
+// BENCH_planner.json.
 func writeBenchJSON(path string, metrics map[string]map[string]float64) error {
-	data, err := json.MarshalIndent(metrics, "", "  ")
+	merged := map[string]map[string]float64{}
+	if prev, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(prev, &merged); err != nil {
+			return fmt.Errorf("existing %s is not a bench-json file: %w", path, err)
+		}
+	}
+	for id, m := range metrics {
+		merged[id] = m
+	}
+	data, err := json.MarshalIndent(merged, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -7,10 +7,10 @@ import (
 
 func TestRegistryCompleteAndOrdered(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 23 {
-		t.Fatalf("got %d experiments, want 23: %v", len(ids), ids)
+	if len(ids) != 24 {
+		t.Fatalf("got %d experiments, want 24: %v", len(ids), ids)
 	}
-	if ids[0] != "E1" || ids[22] != "E23" {
+	if ids[0] != "E1" || ids[23] != "E24" {
 		t.Fatalf("bad ordering: %v", ids)
 	}
 	reg := Registry()
@@ -205,9 +205,43 @@ func TestE23SmallScaleShape(t *testing.T) {
 	if len(r.Tables[0].Rows) != 2 {
 		t.Errorf("rows = %d, want 2", len(r.Tables[0].Rows))
 	}
-	for _, k := range []string{"cores", "users_max", "speedup_vs_monolithic", "gap_worst_pct", "sharded_wallclock_sec"} {
+	for _, k := range []string{"cores", "users_max", "speedup_vs_monolithic", "gap_worst_pct", "sharded_wallclock_sec", "frontier_wallclock_sec"} {
 		if _, ok := r.Metrics[k]; !ok {
 			t.Errorf("metric %q missing", k)
+		}
+	}
+}
+
+// TestE24SmallShape runs a shrunken E24 frontier study, asserting the
+// report shape, that the parity cross-check passed (parity_ok = 1: the
+// frontier-backed plan was bit-identical to the optimizer-fallback plan),
+// and that every metric key the bench-frontier-smoke guard requires is
+// emitted.
+func TestE24SmallShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("frontier study arms in -short mode")
+	}
+	r, err := e24Frontier([]int{48}, 2, 24, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "E24" {
+		t.Errorf("report ID %q", r.ID)
+	}
+	if len(r.Tables[0].Rows) != 1 {
+		t.Errorf("rows = %d, want 1", len(r.Tables[0].Rows))
+	}
+	for _, k := range []string{"cores", "users_max", "build_sec", "legacy_wallclock_sec", "frontier_wallclock_sec", "speedup_vs_legacy", "hit_rate_pct", "parity_ok"} {
+		if _, ok := r.Metrics[k]; !ok {
+			t.Errorf("metric %q missing", k)
+		}
+	}
+	if r.Metrics["parity_ok"] != 1 {
+		t.Errorf("frontier/optimizer parity failed: %v", r.Notes)
+	}
+	for _, n := range r.Notes {
+		if strings.Contains(n, "WARNING") {
+			t.Errorf("shape violation: %s", n)
 		}
 	}
 }

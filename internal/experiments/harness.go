@@ -91,6 +91,7 @@ func Registry() map[string]Runner {
 		"E21": E21ScaleThroughput,
 		"E22": E22ControlPlanePolicies,
 		"E23": E23PlannerScale,
+		"E24": E24FrontierStudy,
 	}
 }
 
@@ -100,6 +101,7 @@ func Registry() map[string]Runner {
 func QuickVariants() map[string]Runner {
 	return map[string]Runner{
 		"E23": E23QuickPlannerScale,
+		"E24": E24QuickFrontierStudy,
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"edgesurgeon/internal/joint"
 	"edgesurgeon/internal/netmodel"
 	"edgesurgeon/internal/stats"
+	"edgesurgeon/internal/surgery"
 	"edgesurgeon/internal/workload"
 )
 
@@ -23,7 +24,12 @@ import (
 // designed for.
 func e23Scenario(nUsers, nServers int) *joint.Scenario {
 	devices := []*hardware.Profile{mustDevice("rpi4"), mustDevice("phone-soc"), mustDevice("jetson-nano")}
-	models := []func() *dnn.Model{dnn.ResNet18, dnn.AlexNet, dnn.MobileNetV2, dnn.VGG16}
+	// One model instance per architecture, shared across users — models are
+	// read-only to the planner, and pointer identity is what the surgery
+	// cache and the frontier tables key on: distinct instances of the same
+	// architecture would defeat both (100k users would otherwise demand
+	// 100k frontier tables instead of one per population class).
+	models := []*dnn.Model{dnn.ResNet18(), dnn.AlexNet(), dnn.MobileNetV2(), dnn.VGG16()}
 	sc := &joint.Scenario{}
 	for s := 0; s < nServers; s++ {
 		prof, mbps, rtt := "edge-gpu-t4", 100.0, 0.004
@@ -40,7 +46,7 @@ func e23Scenario(nUsers, nServers int) *joint.Scenario {
 	for i := 0; i < nUsers; i++ {
 		sc.Users = append(sc.Users, joint.User{
 			Name:       fmt.Sprintf("user%05d", i),
-			Model:      models[i%len(models)](),
+			Model:      models[i%len(models)],
 			Device:     devices[i%len(devices)],
 			Rate:       0.05,
 			Deadline:   1.0,
@@ -62,11 +68,11 @@ func e23Scale(bothSizes, shardedSizes []int, nServers, shardThreshold int) (*Rep
 		ID: "E23", Artifact: "Planner scale study",
 		Title: fmt.Sprintf("Hierarchical sharded planner vs monolithic (%d servers)", nServers),
 	}
-	t := stats.NewTable("Planner wall-clock, sharded vs monolithic",
-		"users", "shards", "mono(s)", "sharded(s)", "speedup", "gap(%)")
+	t := stats.NewTable("Planner wall-clock, sharded vs monolithic vs frontier-backed",
+		"users", "shards", "mono(s)", "sharded(s)", "frontier(s)", "speedup", "gap(%)")
 	cores := runtime.GOMAXPROCS(0)
 
-	var worstGap, bestSpeedup, speedupLargest, shardedSecLargest float64
+	var worstGap, bestSpeedup, speedupLargest, shardedSecLargest, frontierSecLargest float64
 	var usersMax int
 	runArm := func(n int, withMono bool) error {
 		sc := e23Scenario(n, nServers)
@@ -78,6 +84,21 @@ func e23Scale(bothSizes, shardedSizes []int, nServers, shardThreshold int) (*Rep
 			return fmt.Errorf("E23 sharded n=%d: %w", n, err)
 		}
 		shSec := time.Since(t0).Seconds()
+
+		// Frontier arm: same sharded route with precomputed Pareto-frontier
+		// surgery tables answering the per-user subproblems (the table
+		// build is excluded — it amortizes across replans; E24 times it).
+		fopt := joint.Options{ShardThreshold: shardThreshold}
+		set, err := joint.BuildFrontierSet(sc, fopt, surgery.BuildOptions{Surgery: fopt.Surgery})
+		if err != nil {
+			return fmt.Errorf("E23 frontier build n=%d: %w", n, err)
+		}
+		fopt.Frontiers = set
+		t2 := time.Now()
+		if _, err := (&joint.Planner{Opt: fopt}).Plan(sc); err != nil {
+			return fmt.Errorf("E23 frontier n=%d: %w", n, err)
+		}
+		frSec := time.Since(t2).Seconds()
 
 		monoSec, gap := 0.0, 0.0
 		monoCell, speedCell, gapCell := "-", "-", "-"
@@ -102,10 +123,11 @@ func e23Scale(bothSizes, shardedSizes []int, nServers, shardThreshold int) (*Rep
 			}
 			speedupLargest = speedup
 		}
-		t.AddRow(n, shPlan.Shards, monoCell, fmt.Sprintf("%.2f", shSec), speedCell, gapCell)
+		t.AddRow(n, shPlan.Shards, monoCell, fmt.Sprintf("%.2f", shSec), fmt.Sprintf("%.3f", frSec), speedCell, gapCell)
 		if n > usersMax {
 			usersMax = n
 			shardedSecLargest = shSec
+			frontierSecLargest = frSec
 		}
 		return nil
 	}
@@ -125,6 +147,7 @@ func e23Scale(bothSizes, shardedSizes []int, nServers, shardThreshold int) (*Rep
 	r.metric("speedup_vs_monolithic", speedupLargest)
 	r.metric("gap_worst_pct", worstGap)
 	r.metric("sharded_wallclock_sec", shardedSecLargest)
+	r.metric("frontier_wallclock_sec", frontierSecLargest)
 	r.note("speedup at the largest dual-arm size: %.2fx on %d core(s); worst objective gap %+.3f%%", speedupLargest, cores, worstGap)
 	if cores < 8 {
 		r.note("machine has %d core(s) < 8: the speedup above is purely algorithmic (shard-local planning skips the cross-server reassignment greedy); with more cores the concurrent shard fan-out multiplies it", cores)

@@ -232,9 +232,7 @@ func (d *Dispatcher) Observe(serverUp []bool, ratesBps []float64) (*Plan, error)
 		Iterations:  2,
 		PlannerName: d.planner.Name() + suffix,
 	}
-	if st.cache != nil {
-		d.plan.SurgeryCacheHits, d.plan.SurgeryCacheMisses = st.cache.counters()
-	}
+	st.stampCounters(d.plan)
 	d.health = report
 	d.record(&report, d.plan)
 	return d.plan, nil

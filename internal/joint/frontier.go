@@ -1,0 +1,142 @@
+package joint
+
+import (
+	"sort"
+
+	"edgesurgeon/internal/dnn"
+	"edgesurgeon/internal/surgery"
+	"edgesurgeon/internal/telemetry"
+)
+
+// This file wires the precomputed Pareto-frontier surgery tables
+// (surgery.FrontierSet) into the planner's hot path. With
+// Options.Frontiers set, every per-user surgery environment snaps its
+// shares to the set's geometric grid instead of the uniform ShareQuantum
+// grid, and optimizeUser answers from the tables when the key is
+// tabulated — an O(log levels) binary-searched quantization plus an O(1)
+// cell read — falling back to surgery.Optimize (at the same snapped
+// shares) otherwise. Because a table hit returns exactly what the
+// optimizer would compute at those shares, hit/miss mix, table budget,
+// parallelism and shard threshold can never change planner output for a
+// given grid; the differential tests pin this against an empty set.
+
+// frontierStats is the planner's per-call view of a frontier set: the
+// shared tables plus hit/miss telemetry. Like the surgery cache's
+// counters, the hits/misses live in registry series
+// ("planner.frontier.hits"/".misses") when the planner is instrumented and
+// in private counters otherwise; per-Plan reports are deltas against the
+// construction-time baselines.
+type frontierStats struct {
+	set          *surgery.FrontierSet
+	grid         surgery.ShareGrid
+	hits, misses *telemetry.Counter
+	h0, m0       int64
+}
+
+// newFrontierStats wraps set (nil set → nil stats: the legacy path).
+func newFrontierStats(set *surgery.FrontierSet, reg *telemetry.Registry) *frontierStats {
+	if set == nil {
+		return nil
+	}
+	f := &frontierStats{set: set, grid: set.Grid()}
+	if reg != nil {
+		f.hits = reg.Counter("planner.frontier.hits")
+		f.misses = reg.Counter("planner.frontier.misses")
+	} else {
+		f.hits, f.misses = new(telemetry.Counter), new(telemetry.Counter)
+	}
+	f.h0, f.m0 = f.hits.Value(), f.misses.Value()
+	return f
+}
+
+// lookup answers one surgery problem from the tables, counting the outcome.
+// A miss means the key is outside the table set (e.g. drifted uplink rates
+// on the dispatcher's observe path, or a key past the table budget); the
+// caller must then run the optimizer at the same snapped shares.
+func (f *frontierStats) lookup(m *dnn.Model, env surgery.Env, sopt surgery.Options) (surgery.Plan, surgery.Eval, bool) {
+	plan, ev, ok := f.set.Lookup(surgery.KeyOf(m, env, sopt), env.ComputeShare, env.BandwidthShare)
+	if ok {
+		f.hits.Inc()
+	} else {
+		f.misses.Inc()
+	}
+	return plan, ev, ok
+}
+
+// counters returns the (hits, misses) accumulated since construction.
+func (f *frontierStats) counters() (hits, misses int64) {
+	return f.hits.Value() - f.h0, f.misses.Value() - f.m0
+}
+
+// BuildFrontierSet precomputes frontier tables for every surgery key the
+// planner can probe in sc: for each user, its device-only key plus one key
+// per server at the scenario's planning-time uplink. Keys are deduplicated,
+// ranked by how many users share them (ties by first appearance) and built
+// most-popular-first up to the set's table budget; untabulated keys fall
+// back to the optimizer at plan time, counted as frontier misses. A key
+// whose table fails to build (an infeasible constraint, a probe-budget
+// overrun) is likewise left to the fallback, which surfaces the real error
+// with the user's name attached. Construction fans across opt.Parallelism
+// workers; the resulting set is identical at every parallelism level.
+func BuildFrontierSet(sc *Scenario, opt Options, bo surgery.BuildOptions) (*surgery.FrontierSet, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	set := surgery.NewFrontierSet(bo)
+	uplink := make([]float64, len(sc.Servers))
+	for s := range sc.Servers {
+		uplink[s] = sc.meanUplink(s)
+	}
+	type keyStat struct{ count, seq int }
+	stats := make(map[surgery.FrontierKey]*keyStat)
+	var keys []surgery.FrontierKey
+	note := func(k surgery.FrontierKey) {
+		if st, ok := stats[k]; ok {
+			st.count++
+			return
+		}
+		stats[k] = &keyStat{count: 1, seq: len(keys)}
+		keys = append(keys, k)
+	}
+	for ui := range sc.Users {
+		u := &sc.Users[ui]
+		sopt := opt.surgeryOptions(u)
+		base := surgery.Env{
+			Device:     u.Device,
+			Difficulty: u.Difficulty,
+			Curves:     sc.Curves,
+			Rate:       u.planningRate(),
+			TxFactor:   u.TxCompression,
+		}
+		note(surgery.KeyOf(u.Model, base, sopt)) // device-only (shed/local-pin path)
+		for s := range sc.Servers {
+			env := base
+			env.Server = sc.Servers[s].Profile
+			env.ComputeShare, env.BandwidthShare = 1, 1
+			env.UplinkBps = uplink[s]
+			env.RTT = sc.Servers[s].RTT
+			note(surgery.KeyOf(u.Model, env, sopt))
+		}
+	}
+	sort.SliceStable(keys, func(a, b int) bool {
+		sa, sb := stats[keys[a]], stats[keys[b]]
+		if sa.count != sb.count {
+			return sa.count > sb.count
+		}
+		return sa.seq < sb.seq
+	})
+	budget := bo.MaxTables
+	if budget <= 0 {
+		budget = surgery.DefaultMaxTables
+	}
+	if len(keys) > budget {
+		keys = keys[:budget]
+	}
+	// Build errors are deliberately swallowed per key (see above); the set
+	// stays deterministic because the key list was truncated up front.
+	_ = forEachIndex(opt.parallelism(), len(keys), func(i int) error {
+		_ = set.Build(keys[i])
+		return nil
+	})
+	return set, nil
+}

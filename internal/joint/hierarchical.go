@@ -139,7 +139,6 @@ func (p *Planner) planSharded(sc *Scenario, opt Options) (*Plan, error) {
 	bestDs := append([]Decision(nil), st.ds...)
 	bestFeasible := st.feasible
 	maxShardIters := 0
-	var cacheHits, cacheMisses int64
 	for _, sp := range shardPlans {
 		if sp == nil {
 			continue
@@ -147,9 +146,11 @@ func (p *Planner) planSharded(sc *Scenario, opt Options) (*Plan, error) {
 		if sp.Iterations > maxShardIters {
 			maxShardIters = sp.Iterations
 		}
-		cacheHits += sp.SurgeryCacheHits
-		cacheMisses += sp.SurgeryCacheMisses
 	}
+	// The shard plans (and, below, the monolithic cross-check plan) carry
+	// the memoization tallies of their uninstrumented inner planners;
+	// stampCounters folds them into the final plan and the registry.
+	subPlans := append([]*Plan(nil), shardPlans...)
 
 	prev := bestObj
 	rounds := 0
@@ -210,8 +211,7 @@ func (p *Planner) planSharded(sc *Scenario, opt Options) (*Plan, error) {
 		mopt.Metrics = nil
 		mp := Planner{Opt: mopt}
 		if mono, err := mp.Plan(sc); err == nil {
-			cacheHits += mono.SurgeryCacheHits
-			cacheMisses += mono.SurgeryCacheMisses
+			subPlans = append(subPlans, mono)
 			traj = append(traj, mono.Objective)
 			if mono.Objective < bestObj {
 				bestObj = mono.Objective
@@ -230,19 +230,11 @@ func (p *Planner) planSharded(sc *Scenario, opt Options) (*Plan, error) {
 		PlannerName: p.Name(),
 		Shards:      len(clusters),
 	}
-	if st.cache != nil {
-		h, m := st.cache.counters()
-		plan.SurgeryCacheHits = cacheHits + h
-		plan.SurgeryCacheMisses = cacheMisses + m
-	}
+	st.stampCounters(plan, subPlans...)
 	if opt.Metrics != nil {
 		opt.Metrics.Counter("planner.plans").Inc()
 		opt.Metrics.Counter("planner.iterations").Add(int64(plan.Iterations))
 		opt.Metrics.Counter("planner.shards").Add(int64(len(clusters)))
-		// Shard-internal cache traffic is aggregated here (the inner
-		// planners run uninstrumented so "planner.plans" counts one plan).
-		opt.Metrics.Counter("planner.surgery_cache.hits").Add(cacheHits)
-		opt.Metrics.Counter("planner.surgery_cache.misses").Add(cacheMisses)
 	}
 	return plan, nil
 }
@@ -283,6 +275,12 @@ func pinLocalUsers(sc *Scenario, opt Options, assign []int) ([]*Decision, error)
 	if !opt.DisableSurgeryCache {
 		cache = newSurgeryCache(nil)
 	}
+	// The pre-pass probes at full shares (1, 1) — an exact point of both
+	// share grids and exactly the per-server environments BuildFrontierSet
+	// tabulates, so frontier-enabled runs answer the whole pass from the
+	// tables. Like the local cache above, its tallies stay off the plan's
+	// counters (the pass runs before any planning state exists).
+	front := newFrontierStats(opt.Frontiers, nil)
 	err := forEachIndex(opt.parallelism(), len(sc.Users), func(ui int) error {
 		u := &sc.Users[ui]
 		srv := &sc.Servers[assign[ui]]
@@ -298,19 +296,15 @@ func pinLocalUsers(sc *Scenario, opt Options, assign []int) ([]*Decision, error)
 			UplinkBps:      sc.meanUplink(assign[ui]),
 			RTT:            srv.RTT,
 		}
-		sopt := opt.Surgery
-		sopt.FixedPartition = surgery.FreePartition
-		if u.MinAccuracy > 0 {
-			sopt.MinAccuracy = u.MinAccuracy
-		}
-		if opt.DisableSurgery {
-			sopt.NoExits = true
-		}
+		sopt := opt.surgeryOptions(u)
 		var key surgeryKey
 		var plan surgery.Plan
 		var ev surgery.Eval
 		var ok bool
-		if cache != nil {
+		if front != nil {
+			plan, ev, ok = front.lookup(u.Model, env, sopt)
+		}
+		if !ok && cache != nil {
 			key = keyFor(u.Model, env, sopt)
 			plan, ev, ok = cache.get(key)
 		}
@@ -361,6 +355,7 @@ func mergeShardPlans(sc *Scenario, opt Options, clusters []sim.Cluster, shardPla
 	if !opt.DisableSurgeryCache {
 		st.cache = newSurgeryCache(opt.Metrics)
 	}
+	st.front = newFrontierStats(opt.Frontiers, opt.Metrics)
 
 	for ci, c := range clusters {
 		if c.Server < 0 {

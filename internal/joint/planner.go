@@ -61,12 +61,55 @@ type Options struct {
 	// and the objective improvement falls under Epsilon). Only consulted on
 	// the sharded path.
 	ReconcileRounds int
+	// Frontiers, when non-nil, switches the planner's innermost hot path to
+	// precomputed Pareto-frontier surgery tables (build one per scenario
+	// with BuildFrontierSet): every per-user environment snaps its shares to
+	// the set's geometric grid — instead of the uniform ShareQuantum grid —
+	// and tabulated keys are answered by an O(log k) frontier lookup,
+	// falling back to surgery.Optimize at the same snapped shares for keys
+	// outside the tables, so plans are independent of the hit/miss mix. Nil
+	// keeps the historical uniform-grid path bit for bit.
+	Frontiers *surgery.FrontierSet
+	// AccuracyFloor, when positive, imposes a fleet-wide expected-accuracy
+	// floor on every user's surgery plan; a user's own stricter MinAccuracy
+	// still wins. Plumbed into surgery.Options.MinAccuracy per user.
+	AccuracyFloor float64
+	// DeviceEnergyBudgetJ, when positive, caps the per-inference device
+	// energy (joules) any surgery plan may spend
+	// (surgery.Options.MaxDeviceEnergyJ): plans over budget are rejected
+	// during the sweep, and planning fails for users with no plan under
+	// budget.
+	DeviceEnergyBudgetJ float64
 	// Metrics, when non-nil, receives the planner's instrumentation:
 	// "planner.plans" and "planner.iterations" counters plus the
-	// "planner.surgery_cache.hits"/".misses" series (accumulated across
-	// Plan calls; the per-call Plan fields remain exact deltas).
+	// "planner.surgery_cache.hits"/".misses" and (on the frontier path)
+	// "planner.frontier.hits"/".misses" series (accumulated across Plan
+	// calls; the per-call Plan fields remain exact deltas).
 	// Instrumentation never changes planner output.
 	Metrics *telemetry.Registry
+}
+
+// surgeryOptions resolves the surgery option set for one user: the base
+// sweep configuration with the partition freed and the planner- and
+// user-level constraints applied. Every surgery call the planner makes —
+// the hot loop, the local-pin pre-pass, and frontier-table construction —
+// derives its options here, so all paths stay constraint-consistent.
+func (o Options) surgeryOptions(u *User) surgery.Options {
+	sopt := o.Surgery
+	sopt.FixedPartition = surgery.FreePartition
+	if u.MinAccuracy > 0 {
+		sopt.MinAccuracy = u.MinAccuracy
+	}
+	if o.AccuracyFloor > sopt.MinAccuracy {
+		sopt.MinAccuracy = o.AccuracyFloor
+	}
+	if o.DeviceEnergyBudgetJ > 0 {
+		sopt.MaxDeviceEnergyJ = o.DeviceEnergyBudgetJ
+	}
+	if o.DisableSurgery {
+		sopt.NoExits = true
+	}
+	return sopt
 }
 
 // AllocatorKind selects the per-server allocation rule.
@@ -184,9 +227,7 @@ func (p *Planner) Plan(sc *Scenario) (*Plan, error) {
 		Trajectory:  traj,
 		PlannerName: p.Name(),
 	}
-	if st.cache != nil {
-		plan.SurgeryCacheHits, plan.SurgeryCacheMisses = st.cache.counters()
-	}
+	st.stampCounters(plan)
 	if opt.Metrics != nil {
 		opt.Metrics.Counter("planner.plans").Inc()
 		opt.Metrics.Counter("planner.iterations").Add(int64(iters))
@@ -258,9 +299,7 @@ func PlanWithAssignment(sc *Scenario, opt Options, assign []int) (*Plan, error) 
 		Iterations:  iters,
 		PlannerName: "joint-fixed-assignment",
 	}
-	if st.cache != nil {
-		plan.SurgeryCacheHits, plan.SurgeryCacheMisses = st.cache.counters()
-	}
+	st.stampCounters(plan)
 	return plan, nil
 }
 
@@ -277,9 +316,10 @@ type state struct {
 	srvFeasible []bool
 	uplink      []float64 // cached mean uplink rate per server
 
-	workers int           // resolved worker-pool size for fan-out steps
-	cache   *surgeryCache // per-Plan-call surgery memoization (nil if disabled)
-	envBuf  []surgery.Env // reusable per-user env snapshot for surgeryStep
+	workers int            // resolved worker-pool size for fan-out steps
+	cache   *surgeryCache  // per-Plan-call surgery memoization (nil if disabled)
+	front   *frontierStats // frontier tables + hit/miss telemetry (nil = legacy path)
+	envBuf  []surgery.Env  // reusable per-user env snapshot for surgeryStep
 }
 
 func newState(sc *Scenario, opt Options) (*state, error) {
@@ -295,6 +335,7 @@ func newState(sc *Scenario, opt Options) (*state, error) {
 	if !opt.DisableSurgeryCache {
 		st.cache = newSurgeryCache(opt.Metrics)
 	}
+	st.front = newFrontierStats(opt.Frontiers, opt.Metrics)
 	for s := range sc.Servers {
 		st.uplink[s] = sc.meanUplink(s)
 	}
@@ -399,12 +440,21 @@ func (st *state) env(ui int) surgery.Env {
 		if st.opt.DisableProbe {
 			probe = 0
 		}
-		// Shares are snapped to the fixed ShareQuantum grid before the
-		// optimizer sees them, so memoization (keyed on the quantized
-		// values) is exact rather than approximate: a cache hit returns
-		// precisely what recomputing would.
-		env.ComputeShare = quantizeShare(math.Max(orOne(d.ComputeShare), probe))
-		env.BandwidthShare = quantizeShare(math.Max(orOne(d.BandwidthShare), probe))
+		// Shares are snapped to a fixed grid before the optimizer sees
+		// them, so memoization (keyed on the quantized values) is exact
+		// rather than approximate: a cache hit returns precisely what
+		// recomputing would. The frontier path snaps to its tables'
+		// geometric grid; the legacy path keeps the uniform ShareQuantum
+		// grid bit for bit.
+		fs := math.Max(orOne(d.ComputeShare), probe)
+		bs := math.Max(orOne(d.BandwidthShare), probe)
+		if st.front != nil {
+			env.ComputeShare = st.front.grid.Snap(fs)
+			env.BandwidthShare = st.front.grid.Snap(bs)
+		} else {
+			env.ComputeShare = quantizeShare(fs)
+			env.BandwidthShare = quantizeShare(bs)
+		}
 		env.UplinkBps = st.uplink[d.Server]
 		env.RTT = srv.RTT
 	}
@@ -451,16 +501,19 @@ func (st *state) surgeryStep() error {
 
 // optimizeUser runs (or recalls) the surgery optimization for one user in
 // the given quantized environment and installs the result in st.ds[ui].
-// Safe for concurrent calls with distinct ui.
+// Safe for concurrent calls with distinct ui. On the frontier path the
+// precomputed tables answer first; untabulated keys fall through to the
+// cache + optimizer at the same snapped shares, so which path answered is
+// observable only in the counters.
 func (st *state) optimizeUser(ui int, env surgery.Env) error {
 	u := &st.sc.Users[ui]
-	sopt := st.opt.Surgery
-	sopt.FixedPartition = surgery.FreePartition
-	if u.MinAccuracy > 0 {
-		sopt.MinAccuracy = u.MinAccuracy
-	}
-	if st.opt.DisableSurgery {
-		sopt.NoExits = true
+	sopt := st.opt.surgeryOptions(u)
+	if st.front != nil {
+		if plan, ev, ok := st.front.lookup(u.Model, env, sopt); ok {
+			st.ds[ui].Plan = plan
+			st.ds[ui].Eval = ev
+			return nil
+		}
 	}
 	var key surgeryKey
 	if st.cache != nil {
@@ -637,6 +690,7 @@ func (st *state) scratchClone() *state {
 		uplink:      st.uplink,
 		workers:     1,
 		cache:       st.cache,
+		front:       st.front,
 	}
 	for i := range st.assigned {
 		c.assigned[i] = append([]int(nil), st.assigned[i]...)

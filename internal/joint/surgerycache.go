@@ -49,7 +49,7 @@ type surgeryKey struct {
 	server     *hardware.Profile // nil when no server is reachable
 	uplinkBps  float64
 	rtt        float64
-	qf, qb     uint16 // quantized compute/bandwidth share, in quanta
+	f, b       float64 // quantized compute/bandwidth share (exact grid values)
 	rate       float64
 	minAcc     float64
 	txFactor   float64
@@ -57,7 +57,11 @@ type surgeryKey struct {
 	noExits    bool
 }
 
-// keyFor derives the cache key of an already-quantized environment.
+// keyFor derives the cache key of an already-quantized environment. Shares
+// enter the key as their exact quantized values: both the uniform
+// ShareQuantum grid and the frontier path's geometric grid produce a finite
+// set of exact float64 levels, so keying on the values themselves works for
+// either (integer quanta would collide distinct geometric levels).
 func keyFor(m *dnn.Model, env surgery.Env, sopt surgery.Options) surgeryKey {
 	return surgeryKey{
 		model:      m,
@@ -65,8 +69,8 @@ func keyFor(m *dnn.Model, env surgery.Env, sopt surgery.Options) surgeryKey {
 		server:     env.Server,
 		uplinkBps:  env.UplinkBps,
 		rtt:        env.RTT,
-		qf:         uint16(math.Round(env.ComputeShare * ShareQuantum)),
-		qb:         uint16(math.Round(env.BandwidthShare * ShareQuantum)),
+		f:          env.ComputeShare,
+		b:          env.BandwidthShare,
 		rate:       env.Rate,
 		minAcc:     sopt.MinAccuracy,
 		txFactor:   env.TxFactor,
@@ -140,4 +144,55 @@ func (c *surgeryCache) put(k surgeryKey, plan surgery.Plan, eval surgery.Eval) {
 // surgery optimizations requested.
 func (c *surgeryCache) counters() (hits, misses int64) {
 	return c.hits.Value() - c.h0, c.misses.Value() - c.m0
+}
+
+// stampCounters writes the per-call memoization tallies into plan: the
+// state's own surgery-cache and frontier deltas plus the tallies of any
+// sub-plans produced by uninstrumented inner planners (the sharded path's
+// shard and cross-check plans). Sub-plan tallies are also published to the
+// planner's registry — the state's own counters already live there as
+// series when instrumented. This is the single aggregation point behind
+// every plan producer (Plan, PlanWithAssignment, the dispatcher's Observe,
+// and planSharded), so new counter kinds are added here once instead of
+// being copied per call site.
+func (st *state) stampCounters(plan *Plan, sub ...*Plan) {
+	var sch, scm, sfh, sfm int64
+	for _, sp := range sub {
+		if sp == nil {
+			continue
+		}
+		sch += sp.SurgeryCacheHits
+		scm += sp.SurgeryCacheMisses
+		sfh += sp.FrontierHits
+		sfm += sp.FrontierMisses
+	}
+	if reg := st.opt.Metrics; reg != nil {
+		// Publish only non-zero sub-plan tallies: a zero Add would still
+		// create the series, changing the registry rendering of runs whose
+		// path never produced that counter kind.
+		if sch > 0 {
+			reg.Counter("planner.surgery_cache.hits").Add(sch)
+		}
+		if scm > 0 {
+			reg.Counter("planner.surgery_cache.misses").Add(scm)
+		}
+		if sfh > 0 {
+			reg.Counter("planner.frontier.hits").Add(sfh)
+		}
+		if sfm > 0 {
+			reg.Counter("planner.frontier.misses").Add(sfm)
+		}
+	}
+	plan.SurgeryCacheHits, plan.SurgeryCacheMisses = sch, scm
+	plan.FrontierHits, plan.FrontierMisses = sfh, sfm
+	if st.cache != nil {
+		h, m := st.cache.counters()
+		plan.SurgeryCacheHits += h
+		plan.SurgeryCacheMisses += m
+	}
+	if st.front != nil {
+		h, m := st.front.counters()
+		plan.FrontierHits += h
+		plan.FrontierMisses += m
+	}
 }

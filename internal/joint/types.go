@@ -212,6 +212,13 @@ type Plan struct {
 	// approximate under Parallelism > 1, where concurrent first lookups of
 	// one key may each count a miss.
 	SurgeryCacheHits, SurgeryCacheMisses int64
+	// FrontierHits and FrontierMisses count how many per-user surgery
+	// problems were answered by a precomputed Pareto-frontier table lookup
+	// versus fell through to the optimizer (both zero when
+	// Options.Frontiers is nil). Because the fallback runs at the same
+	// grid-snapped shares a table would use, the mix never affects the
+	// plan — only these counters.
+	FrontierHits, FrontierMisses int64
 }
 
 // Strategy is anything that can plan a scenario: the joint planner and

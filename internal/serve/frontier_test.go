@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"edgesurgeon/internal/joint"
+	"edgesurgeon/internal/telemetry"
+)
+
+// runFrontierReplay mirrors runReplay with Config.Frontier enabled, so the
+// runtime builds Pareto-frontier surgery tables at construction and
+// rebuilds them on every full replan.
+func runFrontierReplay(t testing.TB, trace []telemetry.Sample, opt joint.Options) (plans, journal, metrics string, rt *Runtime) {
+	t.Helper()
+	rt, err := New(Config{
+		Scenario: fadingScenario(t),
+		Planner:  &joint.Planner{Opt: opt},
+		Policy:   Hysteresis(),
+		Frontier: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	b.WriteString(encodePlan(rt.Current()))
+	for i := range trace {
+		plan, err := rt.Ingest(trace[i])
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		fmt.Fprintf(&b, "t=%g\n%s", trace[i].Time, encodePlan(plan))
+	}
+	return b.String(), rt.Journal().String(), rt.Metrics().Text(), rt
+}
+
+// TestFrontierReplayDeterminism extends the byte-determinism pin to the
+// frontier-table path: two identical replays with Config.Frontier must
+// agree on every plan, journal entry, and metrics line, on both planner
+// routes.
+func TestFrontierReplayDeterminism(t *testing.T) {
+	trace := recordReplayTrace(t)
+	for _, tc := range []struct {
+		name string
+		opt  joint.Options
+	}{
+		{"monolithic", joint.Options{Parallelism: 1}},
+		{"sharded", joint.Options{Parallelism: 1, ShardThreshold: 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			plans1, journal1, metrics1, rt := runFrontierReplay(t, trace, tc.opt)
+			plans2, journal2, metrics2, _ := runFrontierReplay(t, trace, tc.opt)
+
+			if plans1 != plans2 {
+				t.Fatalf("plan sequences diverged across identical frontier replays:\n--- first ---\n%s\n--- second ---\n%s", plans1, plans2)
+			}
+			if journal1 != journal2 {
+				t.Fatalf("journals diverged:\n--- first ---\n%s\n--- second ---\n%s", journal1, journal2)
+			}
+			if metrics1 != metrics2 {
+				t.Fatalf("metrics diverged:\n--- first ---\n%s\n--- second ---\n%s", metrics1, metrics2)
+			}
+
+			// One table build at construction plus one per full replan.
+			reg := rt.Metrics()
+			builds := reg.Counter("serve.frontier.builds").Value()
+			full := reg.Counter("serve.replans.full").Value()
+			if full == 0 {
+				t.Fatalf("trace triggered no full replan:\n%s", journal1)
+			}
+			if builds != full+1 {
+				t.Errorf("frontier builds = %d, want %d (construction + full replans)", builds, full+1)
+			}
+			if reg.Counter("serve.frontier.build_probes").Value() <= 0 {
+				t.Error("frontier builds recorded no probes")
+			}
+			// The tables actually answered lookups: the replans after a
+			// build run against the exact scenario the tables were built
+			// for, so the frontier hit counter must move.
+			if hits := reg.Counter("planner.frontier.hits").Value(); hits == 0 {
+				t.Errorf("frontier-enabled replay recorded no table hits:\n%s", metrics1)
+			}
+		})
+	}
+}
+
+// TestFrontierReplayParallelismInvariance: the frontier path must keep the
+// control plane's parallelism invariance — identical plans and journals
+// whether the planner fans out or runs serially (only the surgery-cache
+// split may shift, as on the legacy path).
+func TestFrontierReplayParallelismInvariance(t *testing.T) {
+	trace := recordReplayTrace(t)
+	plans1, journal1, metrics1, _ := runFrontierReplay(t, trace, joint.Options{Parallelism: 1})
+	plans4, journal4, metrics4, _ := runFrontierReplay(t, trace, joint.Options{Parallelism: 4})
+
+	if plans1 != plans4 {
+		t.Fatalf("plan sequences diverged across parallelism levels:\n--- serial ---\n%s\n--- parallel ---\n%s", plans1, plans4)
+	}
+	if journal1 != journal4 {
+		t.Fatalf("journals diverged across parallelism levels:\n--- serial ---\n%s\n--- parallel ---\n%s", journal1, journal4)
+	}
+	rest1, sum1 := stripCacheLines(metrics1)
+	rest4, sum4 := stripCacheLines(metrics4)
+	if rest1 != rest4 {
+		t.Fatalf("metrics diverged across parallelism levels:\n--- serial ---\n%s\n--- parallel ---\n%s", rest1, rest4)
+	}
+	if sum1 != sum4 {
+		t.Fatalf("surgery cache hit+miss sum %d (serial) != %d (parallel)", sum1, sum4)
+	}
+}

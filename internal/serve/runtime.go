@@ -18,6 +18,7 @@ import (
 
 	"edgesurgeon/internal/joint"
 	"edgesurgeon/internal/netmodel"
+	"edgesurgeon/internal/surgery"
 	"edgesurgeon/internal/telemetry"
 )
 
@@ -56,6 +57,13 @@ type Config struct {
 	// Metrics receives all instrumentation (nil = a fresh registry,
 	// retrievable via Runtime.Metrics).
 	Metrics *telemetry.Registry
+	// Frontier switches the planner onto precomputed Pareto-frontier
+	// surgery tables: one table set is built per scenario at construction
+	// and reused across every cheap refresh, and each full replan rebuilds
+	// the set against its frozen drifted rates before planning. Build cost
+	// and table counts land in the "serve.frontier.*" series. Off by
+	// default: the legacy optimizer path stays bit-identical.
+	Frontier bool
 }
 
 // Runtime is the online serving loop's state machine. Methods are safe for
@@ -69,6 +77,8 @@ type Runtime struct {
 	disp    *joint.Dispatcher
 	reg     *telemetry.Registry
 	journal telemetry.Journal
+
+	frontier bool // rebuild + install frontier tables for every planned scenario
 
 	clock     float64   // virtual time of the last accepted sample
 	rates     []float64 // last-known per-server uplink bps (always > 0)
@@ -104,10 +114,11 @@ func New(cfg Config) (*Runtime, error) {
 	planner.Opt.Metrics = reg
 
 	rt := &Runtime{
-		sc:      cfg.Scenario,
-		planner: planner,
-		policy:  cfg.Policy,
-		reg:     reg,
+		sc:       cfg.Scenario,
+		planner:  planner,
+		policy:   cfg.Policy,
+		reg:      reg,
+		frontier: cfg.Frontier,
 
 		cSamples:   reg.Counter("serve.samples"),
 		cRejected:  reg.Counter("serve.samples_rejected"),
@@ -119,6 +130,11 @@ func New(cfg Config) (*Runtime, error) {
 		gFeasible:  reg.Gauge("serve.plan.feasible"),
 		gClock:     reg.Gauge("serve.clock"),
 		hDrift:     reg.Histogram("serve.uplink_rel_change", 0.05, 0.1, 0.2, 0.4, 0.8),
+	}
+	if rt.frontier {
+		if err := rt.buildFrontiers(cfg.Scenario); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
 	}
 	disp, err := joint.NewDispatcher(cfg.Scenario, planner)
 	if err != nil {
@@ -255,6 +271,14 @@ func (rt *Runtime) fullReplan(now, maxRel float64) error {
 		orig := rt.sc.Servers[i].Link
 		frozen.Servers[i].Link = netmodel.NewStatic(orig.Name(), rt.rates[i], orig.RTT())
 	}
+	if rt.frontier {
+		// The drifted rates are new frontier keys; rebuild the tables
+		// against the frozen scenario so the replan (and every cheap
+		// refresh at these rates) stays on the table path.
+		if err := rt.buildFrontiers(&frozen); err != nil {
+			return fmt.Errorf("serve: full replan at t=%g: %w", now, err)
+		}
+	}
 	disp, err := joint.NewDispatcher(&frozen, rt.planner)
 	if err != nil {
 		return fmt.Errorf("serve: full replan at t=%g: %w", now, err)
@@ -304,6 +328,23 @@ func (rt *Runtime) cheapRefresh(s *telemetry.Sample, deferred telemetry.EventKin
 	rt.publish(plan)
 	rt.journal.Record(telemetry.Event{Time: s.Time, Kind: kind, Value: plan.Objective, Reason: reason})
 	return plan, nil
+}
+
+// buildFrontiers precomputes the Pareto-frontier surgery tables for sc and
+// installs them on the runtime's planner (shared with its dispatcher), so
+// every subsequent plan — initial, cheap refresh, full replan — answers its
+// surgery hot loop from the tables, falling back to the optimizer only for
+// off-table keys (e.g. cheap refreshes at drifted rates between rebuilds).
+func (rt *Runtime) buildFrontiers(sc *joint.Scenario) error {
+	set, err := joint.BuildFrontierSet(sc, rt.planner.Opt, surgery.BuildOptions{Surgery: rt.planner.Opt.Surgery})
+	if err != nil {
+		return fmt.Errorf("building frontier tables: %w", err)
+	}
+	rt.planner.Opt.Frontiers = set
+	rt.reg.Counter("serve.frontier.builds").Inc()
+	rt.reg.Counter("serve.frontier.build_probes").Add(set.Probes())
+	rt.reg.Gauge("serve.frontier.tables").Set(float64(set.Len()))
+	return nil
 }
 
 // publish mirrors the active plan into the gauges.

@@ -20,6 +20,12 @@ type Options struct {
 	// 0 means 200. Rounding is downward, so accepted plans genuinely
 	// satisfy MinAccuracy.
 	AccBuckets int
+	// MaxDeviceEnergyJ caps the expected device-side energy per task in
+	// joules (compute plus radio airtime at the environment's bandwidth
+	// share; see Eval.DeviceEnergyAt). 0 disables the constraint. Note the
+	// radio term stretches as the bandwidth share shrinks, so feasibility
+	// under this cap is share-dependent.
+	MaxDeviceEnergyJ float64
 	// NoExits restricts surgery to pure partitioning (Neurosurgeon-style
 	// baseline behaviour).
 	NoExits bool
@@ -103,6 +109,9 @@ func Optimize(m *dnn.Model, env Env, opt Options) (Plan, Eval, error) {
 			if env.Rate > 0 && env.Rate*ev.DeviceSec > DeviceStabilityRho {
 				continue // device queue would be unstable at this rate
 			}
+			if opt.MaxDeviceEnergyJ > 0 && ev.DeviceEnergyAt(env.Device, envShare(env.BandwidthShare)) > opt.MaxDeviceEnergyJ {
+				continue // plan would drain the device past its energy budget
+			}
 			if ev.Latency < bestEval.Latency {
 				bestExits = append(bestExits[:0], exits...)
 				bestProbs = append(bestProbs[:0], ev.ExitProbs...)
@@ -113,6 +122,9 @@ func Optimize(m *dnn.Model, env Env, opt Options) (Plan, Eval, error) {
 		}
 	}
 	if !found {
+		if opt.MaxDeviceEnergyJ > 0 {
+			return Plan{}, Eval{}, fmt.Errorf("surgery: no plan meets accuracy %.3f within device energy budget %.3g J (rate %.3g/s) for %s", opt.MinAccuracy, opt.MaxDeviceEnergyJ, env.Rate, m.Name)
+		}
 		return Plan{}, Eval{}, fmt.Errorf("surgery: no plan meets accuracy %.3f (rate %.3g/s) for %s", opt.MinAccuracy, env.Rate, m.Name)
 	}
 	if len(best.Exits) == 0 {
