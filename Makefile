@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race fuzz-smoke bench bench-smoke bench-planner-smoke bench-frontier-smoke serve-smoke experiments examples cover clean
+.PHONY: all build vet test test-short test-race fuzz-smoke bench bench-smoke bench-planner-smoke bench-frontier-smoke serve-smoke chaos-smoke experiments examples cover clean
 
 all: build vet test
 
@@ -38,6 +38,8 @@ fuzz-smoke:
 	$(GO) test ./internal/alloc -run '^$$' -fuzz FuzzAllocDeadline -fuzztime 10s
 	$(GO) test ./internal/telemetry -run '^$$' -fuzz FuzzTraceDecode -fuzztime 10s
 	$(GO) test ./internal/config -run '^$$' -fuzz FuzzPlanScenario -fuzztime 10s
+	$(GO) test ./internal/serve -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime 10s
+	$(GO) test ./internal/serve -run '^$$' -fuzz FuzzWALReplay -fuzztime 10s
 
 # One benchmark per evaluation artifact (E1-E21) plus kernel microbenchmarks.
 bench:
@@ -69,6 +71,23 @@ serve-smoke:
 	$(GO) run ./cmd/edgeserved -scenario cmd/edgeserved/testdata/smoke-scenario.json \
 		-trace cmd/edgeserved/testdata/smoke-trace.jsonl \
 		-policy hysteresis -expect-full-replans 4
+
+# Crash-recovery smoke for CI: replay the same trace through the
+# snapshot/WAL-backed control plane, kill the process after samples 3 and
+# 8 plus throttle the planner and corrupt a sample, then assert the
+# recovered run's journal, metrics and final plan are byte-identical to a
+# crash-free rerun (-verify-recovery exits non-zero on any divergence).
+# The in-process harness test repeats the invariant with three crashes
+# and checks zero goroutine leaks after the runtimes close.
+chaos-smoke:
+	$(GO) test ./internal/serve -run 'TestRunChaos' -count=1
+	rm -rf .chaos-smoke-dir
+	$(GO) run ./cmd/edgeserved -scenario cmd/edgeserved/testdata/smoke-scenario.json \
+		-trace cmd/edgeserved/testdata/smoke-trace.jsonl \
+		-policy hysteresis -snapshot-dir .chaos-smoke-dir \
+		-chaos crash:3 -chaos crash:8 -chaos slow:12:15:0.001 -chaos corrupt:5:nan \
+		-verify-recovery -expect-full-replans 4
+	rm -rf .chaos-smoke-dir
 
 # Regenerate every table and figure of the reconstructed evaluation.
 experiments:

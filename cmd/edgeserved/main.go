@@ -12,6 +12,12 @@
 //	    -expect-full-replans 3                # CI smoke: pin the replan count
 //	edgeserved -scenario deploy.json -trace trace.jsonl -http :8080
 //	    # then: curl localhost:8080/metrics ; curl localhost:8080/plan
+//	edgeserved -scenario deploy.json -trace trace.jsonl -snapshot-dir state/ \
+//	    -chaos crash:3 -chaos crash:8 -verify-recovery
+//	    # chaos replay: kill/recover after samples 3 and 8, then assert the
+//	    # run was byte-identical to one that never crashed
+//	edgeserved -scenario deploy.json -trace trace.jsonl -snapshot-dir state/ -recover
+//	    # resume a crashed replay from its snapshot + WAL
 //
 // The scenario schema is documented in internal/config; the trace format is
 // JSON lines, one telemetry.Sample per line.
@@ -80,8 +86,85 @@ func (f *faultFlags) Set(spec string) error {
 	return nil
 }
 
+// chaosFlags collects repeatable -chaos specs:
+//
+//	crash:I             kill the control plane after ingesting sample I,
+//	                    then recover it from -snapshot-dir and continue
+//	slow:FROM:TO:FACTOR planner speed FACTOR over samples [FROM, TO)
+//	corrupt:I:KIND      mangle sample I; KIND is nan | negative | time | width
+type chaosFlags struct {
+	events []faults.ChaosEvent
+}
+
+func (c *chaosFlags) String() string { return fmt.Sprintf("%d chaos events", len(c.events)) }
+
+func (c *chaosFlags) Set(spec string) error {
+	parts := strings.Split(spec, ":")
+	atoi := func(s string) (int, error) {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return 0, fmt.Errorf("sample ordinal %q: %w", s, err)
+		}
+		return v, nil
+	}
+	var e faults.ChaosEvent
+	var err error
+	switch parts[0] {
+	case "crash":
+		if len(parts) != 2 {
+			return fmt.Errorf("want crash:I, got %q", spec)
+		}
+		e.Kind = faults.CrashAfterSample
+		if e.Sample, err = atoi(parts[1]); err != nil {
+			return err
+		}
+	case "slow":
+		if len(parts) != 4 {
+			return fmt.Errorf("want slow:FROM:TO:FACTOR, got %q", spec)
+		}
+		e.Kind = faults.SlowPlanner
+		if e.Sample, err = atoi(parts[1]); err != nil {
+			return err
+		}
+		if e.Until, err = atoi(parts[2]); err != nil {
+			return err
+		}
+		if e.Factor, err = strconv.ParseFloat(parts[3], 64); err != nil {
+			return fmt.Errorf("factor %q: %w", parts[3], err)
+		}
+	case "corrupt":
+		if len(parts) != 3 {
+			return fmt.Errorf("want corrupt:I:KIND, got %q", spec)
+		}
+		e.Kind = faults.CorruptSample
+		if e.Sample, err = atoi(parts[1]); err != nil {
+			return err
+		}
+		switch parts[2] {
+		case "nan":
+			e.Corrupt = faults.CorruptNaN
+		case "negative":
+			e.Corrupt = faults.CorruptNegative
+		case "time":
+			e.Corrupt = faults.CorruptTimeRegression
+		case "width":
+			e.Corrupt = faults.CorruptWidth
+		default:
+			return fmt.Errorf("unknown corruption %q (nan | negative | time | width)", parts[2])
+		}
+	default:
+		return fmt.Errorf("unknown chaos kind %q (crash | slow | corrupt)", parts[0])
+	}
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	c.events = append(c.events, e)
+	return nil
+}
+
 func main() {
 	var faultSpecs faultFlags
+	var chaosSpecs chaosFlags
 	var (
 		scenarioPath = flag.String("scenario", "", "path to JSON scenario (required)")
 		recordPath   = flag.String("record", "", "record a telemetry trace to this file and exit")
@@ -99,8 +182,17 @@ func main() {
 		parallelism  = flag.Int("parallelism", 0, "planner worker count (0 = GOMAXPROCS); plans are identical across levels")
 		shardThresh  = flag.Int("shard-threshold", 0, "route full replans of scenarios with at least this many users through the hierarchical sharded planner (0 = always monolithic)")
 		frontier     = flag.Bool("frontier", false, "precompute Pareto-frontier surgery tables per planned scenario (see serve.frontier.* metrics); plans follow the tables' geometric share grid")
+
+		snapshotDir = flag.String("snapshot-dir", "", "persist snapshot + WAL state in this directory (crash-safe replay)")
+		recoverRun  = flag.Bool("recover", false, "recover the control plane from -snapshot-dir and continue the trace from where it crashed")
+		verifyRec   = flag.Bool("verify-recovery", false, "after a chaos replay with crashes, rerun without the crashes and exit non-zero unless journal, metrics and final plan are byte-identical")
+
+		replanDeadline = flag.Float64("replan-deadline", -1, "override: virtual-seconds deadline for one full replan (0 = unbounded); an over-deadline replan aborts and keeps serving the stale plan")
+		qStrikes       = flag.Int("quarantine-strikes", -1, "override: consecutive validation failures before a telemetry source is quarantined (0 = off)")
+		qProbation     = flag.Float64("quarantine-probation", -1, "override: virtual seconds a quarantined source stays muted")
 	)
 	flag.Var(&faultSpecs, "fault", "fault window kind:server:start:end[:factor] (repeatable, record mode)")
+	flag.Var(&chaosSpecs, "chaos", "chaos event crash:I | slow:FROM:TO:FACTOR | corrupt:I:KIND (repeatable, replay mode)")
 	flag.Parse()
 
 	if *scenarioPath == "" {
@@ -122,11 +214,19 @@ func main() {
 			fatal(err)
 		}
 	case *tracePath != "":
-		policy, err := buildPolicy(*policyName, *relChange, *minInterval, *budget, *budgetWindow)
+		policy, err := buildPolicy(*policyName, *relChange, *minInterval, *budget, *budgetWindow,
+			*replanDeadline, *qStrikes, *qProbation)
 		if err != nil {
 			fatal(err)
 		}
-		if err := replay(sc, policy, *tracePath, *journalPath, *expectFull, *httpAddr, *parallelism, *shardThresh, *frontier); err != nil {
+		opts := replayOpts{
+			tracePath: *tracePath, journalPath: *journalPath,
+			expectFull: *expectFull, httpAddr: *httpAddr,
+			parallelism: *parallelism, shardThreshold: *shardThresh, frontier: *frontier,
+			snapshotDir: *snapshotDir, recover: *recoverRun,
+			chaos: chaosSpecs.events, verifyRecovery: *verifyRec,
+		}
+		if err := replay(sc, policy, opts); err != nil {
 			fatal(err)
 		}
 	default:
@@ -178,7 +278,8 @@ func record(sc *joint.Scenario, scHorizon float64, path string, horizon, period 
 	return nil
 }
 
-func buildPolicy(name string, relChange, minInterval float64, budget int, window float64) (serve.Policy, error) {
+func buildPolicy(name string, relChange, minInterval float64, budget int, window,
+	replanDeadline float64, qStrikes int, qProbation float64) (serve.Policy, error) {
 	var p serve.Policy
 	switch name {
 	case "always":
@@ -202,13 +303,38 @@ func buildPolicy(name string, relChange, minInterval float64, budget int, window
 	if window >= 0 {
 		p.Window = window
 	}
+	if replanDeadline >= 0 {
+		p.ReplanDeadline = replanDeadline
+	}
+	if qStrikes >= 0 {
+		p.QuarantineStrikes = qStrikes
+	}
+	if qProbation >= 0 {
+		p.QuarantineProbation = qProbation
+	}
 	return p, p.Validate()
 }
 
-// replay drives the recorded trace through a fresh control plane and
+// replayOpts bundles the replay-mode configuration.
+type replayOpts struct {
+	tracePath, journalPath string
+	expectFull             int
+	httpAddr               string
+	parallelism            int
+	shardThreshold         int
+	frontier               bool
+
+	snapshotDir    string
+	recover        bool
+	chaos          []faults.ChaosEvent
+	verifyRecovery bool
+}
+
+// replay drives the recorded trace through the control plane — fresh,
+// recovered from a snapshot directory, or under a chaos schedule — and
 // reports what the policy decided.
-func replay(sc *joint.Scenario, policy serve.Policy, tracePath, journalPath string, expectFull int, httpAddr string, parallelism, shardThreshold int, frontier bool) error {
-	in, err := os.Open(tracePath)
+func replay(sc *joint.Scenario, policy serve.Policy, o replayOpts) error {
+	in, err := os.Open(o.tracePath)
 	if err != nil {
 		return err
 	}
@@ -217,42 +343,130 @@ func replay(sc *joint.Scenario, policy serve.Policy, tracePath, journalPath stri
 	if err != nil {
 		return err
 	}
-	rt, err := serve.New(serve.Config{
+	cfg := serve.Config{
 		Scenario: sc,
-		Planner:  &joint.Planner{Opt: joint.Options{Parallelism: parallelism, ShardThreshold: shardThreshold}},
+		Planner:  &joint.Planner{Opt: joint.Options{Parallelism: o.parallelism, ShardThreshold: o.shardThreshold}},
 		Policy:   policy,
-		Frontier: frontier,
-	})
-	if err != nil {
-		return err
+		Frontier: o.frontier,
 	}
-	plan, err := rt.Replay(trace)
+	chaos, err := faults.NewChaos(o.chaos...)
 	if err != nil {
 		return err
 	}
 
+	var rt *serve.Runtime
+	switch {
+	case o.recover:
+		if o.snapshotDir == "" {
+			return fmt.Errorf("-recover needs -snapshot-dir")
+		}
+		store, err := serve.OpenStore(o.snapshotDir)
+		if err != nil {
+			return err
+		}
+		cfg.Store = store
+		if rt, err = serve.Recover(cfg); err != nil {
+			return err
+		}
+		skip := rt.Seq()
+		fmt.Printf("recovered at seq %d; replaying %d remaining samples\n", skip, max(0, len(trace)-int(skip)))
+		for i := int(skip); i < len(trace); i++ {
+			if _, err := rt.Ingest(trace[i]); err != nil {
+				return fmt.Errorf("sample %d: %w", i, err)
+			}
+		}
+	default:
+		if o.snapshotDir != "" {
+			store, err := serve.OpenStore(o.snapshotDir)
+			if err != nil {
+				return err
+			}
+			cfg.Store = store
+		}
+		res, err := serve.RunChaos(cfg, trace, chaos)
+		if err != nil {
+			return err
+		}
+		rt = res.Runtime
+		if !chaos.Empty() {
+			fmt.Printf("chaos: %d crashes, %d corrupted samples, %d rejections, %d throttle changes\n",
+				res.Crashes, res.Corrupted, res.Rejections, res.Throttles)
+		}
+		if o.verifyRecovery {
+			if err := verifyRecovery(sc, policy, o, trace, chaos, rt); err != nil {
+				return err
+			}
+			fmt.Println("verify-recovery: journal, metrics and final plan byte-identical to the crash-free run")
+		}
+	}
+
 	reg := rt.Metrics()
 	count := func(name string) int64 { return reg.Counter(name).Value() }
+	plan := rt.Current()
 	fmt.Printf("replayed %d samples over %gs\n", len(trace), rt.Clock())
 	fmt.Printf("full replans:    %d\n", count("serve.replans.full"))
 	fmt.Printf("cheap refreshes: %d\n", count("serve.replans.cheap"))
 	fmt.Printf("deferred:        %d\n", count("serve.replans.deferred"))
 	fmt.Printf("no-change:       %d\n", count("serve.no_change"))
+	if n := count("serve.replans.aborted"); n > 0 {
+		fmt.Printf("deadline aborts: %d\n", n)
+	}
+	if n := count("serve.quarantine.quarantined"); n > 0 {
+		fmt.Printf("quarantines:     %d (%d samples dropped muted)\n", n, count("serve.quarantine.dropped"))
+	}
 	fmt.Printf("final plan:      %s objective=%.4f feasible=%t\n", plan.PlannerName, plan.Objective, plan.Feasible)
 
-	if journalPath != "" {
+	if o.journalPath != "" {
 		text := rt.Journal().String()
-		if journalPath == "-" {
+		if o.journalPath == "-" {
 			fmt.Print(text)
-		} else if err := os.WriteFile(journalPath, []byte(text), 0o644); err != nil {
+		} else if err := telemetry.WriteFileAtomic(o.journalPath, []byte(text), 0o644); err != nil {
 			return err
 		}
 	}
-	if expectFull >= 0 && int64(expectFull) != rt.FullReplans() {
-		return fmt.Errorf("expected %d full replans, got %d", expectFull, rt.FullReplans())
+	if o.expectFull >= 0 && int64(o.expectFull) != rt.FullReplans() {
+		return fmt.Errorf("expected %d full replans, got %d", o.expectFull, rt.FullReplans())
 	}
-	if httpAddr != "" {
-		return serveHTTP(httpAddr, sc, rt)
+	if o.httpAddr != "" {
+		return serveHTTP(o.httpAddr, sc, rt)
+	}
+	return rt.Close()
+}
+
+// verifyRecovery reruns the chaos replay with the crash events stripped
+// (in memory, no store, fresh planner) and errors out unless the
+// crashed-and-recovered runtime's journal, metrics and final plan match
+// byte for byte.
+func verifyRecovery(sc *joint.Scenario, policy serve.Policy, o replayOpts, trace []telemetry.Sample, chaos *faults.ChaosSchedule, crashed *serve.Runtime) error {
+	var calmEvents []faults.ChaosEvent
+	for _, e := range chaos.Events() {
+		if e.Kind != faults.CrashAfterSample {
+			calmEvents = append(calmEvents, e)
+		}
+	}
+	calmChaos, err := faults.NewChaos(calmEvents...)
+	if err != nil {
+		return err
+	}
+	cfg := serve.Config{
+		Scenario: sc,
+		Planner:  &joint.Planner{Opt: joint.Options{Parallelism: o.parallelism, ShardThreshold: o.shardThreshold}},
+		Policy:   policy,
+		Frontier: o.frontier,
+	}
+	calm, err := serve.RunChaos(cfg, trace, calmChaos)
+	if err != nil {
+		return fmt.Errorf("verify-recovery: crash-free rerun: %w", err)
+	}
+	defer calm.Runtime.Close()
+	if got, want := crashed.Journal().String(), calm.Runtime.Journal().String(); got != want {
+		return fmt.Errorf("verify-recovery: journal diverged\n--- crash-free ---\n%s--- recovered ---\n%s", want, got)
+	}
+	if got, want := crashed.Metrics().Text(), calm.Runtime.Metrics().Text(); got != want {
+		return fmt.Errorf("verify-recovery: metrics diverged\n--- crash-free ---\n%s--- recovered ---\n%s", want, got)
+	}
+	if got, want := serve.EncodePlan(crashed.Current()), serve.EncodePlan(calm.Runtime.Current()); got != want {
+		return fmt.Errorf("verify-recovery: final plan diverged\n--- crash-free ---\n%s--- recovered ---\n%s", want, got)
 	}
 	return nil
 }

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"edgesurgeon/internal/experiments"
+	"edgesurgeon/internal/telemetry"
 )
 
 func main() {
@@ -132,7 +133,9 @@ func writeBenchJSON(path string, metrics map[string]map[string]float64) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	// Atomic write: a CI step killed mid-write must not leave a truncated
+	// JSON file that poisons the next run's read-merge-write cycle.
+	return telemetry.WriteFileAtomic(path, append(data, '\n'), 0o644)
 }
 
 func exportCSV(dir string, rep *experiments.Report) error {

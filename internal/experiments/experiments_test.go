@@ -7,10 +7,10 @@ import (
 
 func TestRegistryCompleteAndOrdered(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 24 {
-		t.Fatalf("got %d experiments, want 24: %v", len(ids), ids)
+	if len(ids) != 25 {
+		t.Fatalf("got %d experiments, want 25: %v", len(ids), ids)
 	}
-	if ids[0] != "E1" || ids[23] != "E24" {
+	if ids[0] != "E1" || ids[24] != "E25" {
 		t.Fatalf("bad ordering: %v", ids)
 	}
 	reg := Registry()
@@ -270,5 +270,31 @@ func TestE21SmallScaleAgrees(t *testing.T) {
 		if _, ok := r.Metrics[k]; !ok {
 			t.Errorf("metric %q missing", k)
 		}
+	}
+}
+
+// TestE25ChaosShape runs the chaos-recovery study end to end. runReport
+// fails on the WARNING notes E25 emits when crash recovery diverges from
+// the undisturbed run, when the crash/slow/corrupt arms fail to crash,
+// hit a deadline, or trip quarantine — so a green run certifies exact
+// recovery under fire.
+func TestE25ChaosShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos replay arms in -short mode")
+	}
+	r := runReport(t, "E25")
+	if rows := len(r.Tables[0].Rows); rows != 4 {
+		t.Fatalf("arm rows = %d, want 4", rows)
+	}
+	for _, k := range []string{
+		"E25.recovery_fidelity", "E25.crashes", "E25.deadline_hit_rate",
+		"E25.stale_serves", "E25.quarantine_drops",
+	} {
+		if _, ok := r.Metrics[k]; !ok {
+			t.Errorf("metric %q missing", k)
+		}
+	}
+	if r.Metrics["E25.recovery_fidelity"] != 1 {
+		t.Errorf("recovery fidelity = %g, want 1", r.Metrics["E25.recovery_fidelity"])
 	}
 }

@@ -92,6 +92,7 @@ func Registry() map[string]Runner {
 		"E22": E22ControlPlanePolicies,
 		"E23": E23PlannerScale,
 		"E24": E24FrontierStudy,
+		"E25": E25ChaosRecovery,
 	}
 }
 

@@ -1,0 +1,88 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestChaosValidation(t *testing.T) {
+	bad := []ChaosEvent{
+		{Kind: CrashAfterSample, Sample: -1},
+		{Kind: SlowPlanner, Sample: 3, Until: 3, Factor: 0.5},
+		{Kind: SlowPlanner, Sample: 3, Until: 5, Factor: 0},
+		{Kind: SlowPlanner, Sample: 3, Until: 5, Factor: 1.5},
+		{Kind: CorruptSample, Sample: 1, Corrupt: CorruptKind(9)},
+		{Kind: ChaosKind(9), Sample: 1},
+	}
+	for i, e := range bad {
+		if _, err := NewChaos(e); err == nil {
+			t.Errorf("event %d (%+v) validated", i, e)
+		}
+	}
+	if _, err := NewChaos(
+		ChaosEvent{Kind: CrashAfterSample, Sample: 4},
+		ChaosEvent{Kind: SlowPlanner, Sample: 0, Until: 3, Factor: 0.2},
+		ChaosEvent{Kind: CorruptSample, Sample: 2, Corrupt: CorruptWidth},
+	); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChaosAccessors(t *testing.T) {
+	s := MustNewChaos(
+		ChaosEvent{Kind: CrashAfterSample, Sample: 4},
+		ChaosEvent{Kind: SlowPlanner, Sample: 2, Until: 5, Factor: 0.25},
+		ChaosEvent{Kind: SlowPlanner, Sample: 4, Until: 6, Factor: 0.5},
+		ChaosEvent{Kind: CorruptSample, Sample: 3, Corrupt: CorruptNaN},
+	)
+	if s.CrashAfter(3) || !s.CrashAfter(4) {
+		t.Error("CrashAfter wrong")
+	}
+	if got := s.PlannerFactor(1); got != 1 {
+		t.Errorf("factor(1) = %g, want 1", got)
+	}
+	if got := s.PlannerFactor(4); got != 0.25 { // overlapping windows: minimum wins
+		t.Errorf("factor(4) = %g, want 0.25", got)
+	}
+	if got := s.PlannerFactor(5); got != 0.5 {
+		t.Errorf("factor(5) = %g, want 0.5", got)
+	}
+	if _, ok := s.Corruption(2); ok {
+		t.Error("corruption at 2")
+	}
+	if k, ok := s.Corruption(3); !ok || k != CorruptNaN {
+		t.Errorf("corruption(3) = %v/%v", k, ok)
+	}
+	var nilSched *ChaosSchedule
+	if nilSched.CrashAfter(0) || nilSched.PlannerFactor(0) != 1 || !nilSched.Empty() {
+		t.Error("nil schedule is not inert")
+	}
+}
+
+func TestGenerateChaosDeterministic(t *testing.T) {
+	cfg := ChaosGenConfig{Samples: 50, CrashRate: 0.1, SlowRate: 0.1, CorruptRate: 0.2, Seed: 7}
+	a, err := GenerateChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Events(), b.Events()) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if a.Empty() {
+		t.Fatal("rates this high should produce events")
+	}
+	for _, bad := range []ChaosGenConfig{
+		{Samples: 0},
+		{Samples: 10, CrashRate: 1},
+		{Samples: 10, SlowFactor: 2},
+		{Samples: 10, SlowSpan: -1},
+	} {
+		if _, err := GenerateChaos(bad); err == nil {
+			t.Errorf("config %+v validated", bad)
+		}
+	}
+}

@@ -102,6 +102,41 @@ func NewDispatcher(sc *Scenario, planner *Planner) (*Dispatcher, error) {
 	}, nil
 }
 
+// NewDispatcherWithPlan builds a dispatcher around an externally produced
+// plan instead of planning the scenario itself — the control plane's
+// crash-recovery constructor: after a restart it replans the frozen
+// scenario with an uninstrumented planner copy (so restored counters are
+// not double-bumped) and installs the result here with the instrumented
+// planner, which future Observe rounds then use. plan becomes both the
+// active and the pristine base plan, exactly as NewDispatcher would have
+// installed it.
+func NewDispatcherWithPlan(sc *Scenario, planner *Planner, plan *Plan) (*Dispatcher, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if plan == nil || len(plan.Decisions) != len(sc.Users) {
+		got := 0
+		if plan != nil {
+			got = len(plan.Decisions)
+		}
+		return nil, fmt.Errorf("joint: plan has %d decisions for %d users", got, len(sc.Users))
+	}
+	return &Dispatcher{
+		sc:      sc,
+		planner: planner,
+		plan:    clonePlan(plan),
+		base:    clonePlan(plan),
+		down:    make([]bool, len(sc.Servers)),
+	}, nil
+}
+
+// SetPlanner replaces the planner future observations use. The
+// crash-recovery sequence rebuilds dispatcher state with an uninstrumented
+// planner — every counter bump that state originally produced is already
+// in the restored registry — then installs the instrumented planner here
+// for live rounds.
+func (d *Dispatcher) SetPlanner(p *Planner) { d.planner = p }
+
 // Current returns the active plan.
 func (d *Dispatcher) Current() *Plan { return d.plan }
 
@@ -192,6 +227,10 @@ func (d *Dispatcher) Observe(serverUp []bool, ratesBps []float64) (*Plan, error)
 	}
 
 	opt := d.planner.opts()
+	// The observe path is the cheap two-round refresh, never the full
+	// replan the deadline budget bounds; a budget or context configured for
+	// Plan must not leak in here and abort a failover.
+	opt.SurgeryBudget, opt.planCtx = 0, nil
 	st, err := newState(d.sc, opt)
 	if err != nil {
 		return nil, err

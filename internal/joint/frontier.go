@@ -2,6 +2,7 @@ package joint
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"edgesurgeon/internal/dnn"
 	"edgesurgeon/internal/surgery"
@@ -31,10 +32,32 @@ type frontierStats struct {
 	grid         surgery.ShareGrid
 	hits, misses *telemetry.Counter
 	h0, m0       int64
+	// memo caches the key→table resolution per (user, server) slot: within
+	// one planning state every key component except the shares — model,
+	// device, server profile, planning-time uplink, rate, constraint set —
+	// is constant for a given (user, server) pair, so constructing and
+	// hashing a FrontierKey per query (the dominant lookup cost at 100k
+	// users, see ROADMAP) is pure waste after the first resolution. Slots
+	// hold an atomic pointer: racing resolvers of one slot store equivalent
+	// values, so the memo never changes output at any Parallelism level. A
+	// resolved nil table is remembered too — each query on it still counts
+	// a miss, keeping the counters identical to the unmemoized path. Laid
+	// out nUsers×(memoServers+1) with column 0 the device-only (server -1)
+	// environment. Nil when disabled.
+	memo        []atomic.Pointer[frontierRes]
+	memoServers int
 }
 
-// newFrontierStats wraps set (nil set → nil stats: the legacy path).
-func newFrontierStats(set *surgery.FrontierSet, reg *telemetry.Registry) *frontierStats {
+// frontierRes is one resolved memo slot; table is nil for keys outside the
+// set (the resolved-miss sentinel, distinct from an unresolved slot).
+type frontierRes struct {
+	table *surgery.Frontier
+}
+
+// newFrontierStats wraps set (nil set → nil stats: the legacy path). nUsers
+// and nServers size the (user, server) resolution memo; memo=false keeps
+// the per-query key-hash path (Options.DisableFrontierMemo).
+func newFrontierStats(set *surgery.FrontierSet, reg *telemetry.Registry, nUsers, nServers int, memo bool) *frontierStats {
 	if set == nil {
 		return nil
 	}
@@ -46,14 +69,36 @@ func newFrontierStats(set *surgery.FrontierSet, reg *telemetry.Registry) *fronti
 		f.hits, f.misses = new(telemetry.Counter), new(telemetry.Counter)
 	}
 	f.h0, f.m0 = f.hits.Value(), f.misses.Value()
+	if memo && nUsers > 0 {
+		f.memo = make([]atomic.Pointer[frontierRes], nUsers*(nServers+1))
+		f.memoServers = nServers
+	}
 	return f
 }
 
-// lookup answers one surgery problem from the tables, counting the outcome.
-// A miss means the key is outside the table set (e.g. drifted uplink rates
-// on the dispatcher's observe path, or a key past the table budget); the
-// caller must then run the optimizer at the same snapped shares.
-func (f *frontierStats) lookup(m *dnn.Model, env surgery.Env, sopt surgery.Options) (surgery.Plan, surgery.Eval, bool) {
+// lookup answers user ui's surgery problem from the tables, counting the
+// outcome. server is the environment's server index (-1 for device-only);
+// with the memo enabled it addresses the cached key→table resolution, so
+// repeat queries skip the key construction and hash entirely. A miss means
+// the key is outside the table set (e.g. drifted uplink rates on the
+// dispatcher's observe path, or a key past the table budget); the caller
+// must then run the optimizer at the same snapped shares.
+func (f *frontierStats) lookup(ui, server int, m *dnn.Model, env surgery.Env, sopt surgery.Options) (surgery.Plan, surgery.Eval, bool) {
+	if f.memo != nil && ui >= 0 && server >= -1 && server < f.memoServers {
+		slot := &f.memo[ui*(f.memoServers+1)+server+1]
+		res := slot.Load()
+		if res == nil {
+			res = &frontierRes{table: f.set.Get(surgery.KeyOf(m, env, sopt))}
+			slot.Store(res)
+		}
+		if res.table == nil {
+			f.misses.Inc()
+			return surgery.Plan{}, surgery.Eval{}, false
+		}
+		f.hits.Inc()
+		plan, ev := res.table.Lookup(env.ComputeShare, env.BandwidthShare)
+		return plan, ev, true
+	}
 	plan, ev, ok := f.set.Lookup(surgery.KeyOf(m, env, sopt), env.ComputeShare, env.BandwidthShare)
 	if ok {
 		f.hits.Inc()

@@ -85,6 +85,13 @@ func (p *Planner) planSharded(sc *Scenario, opt Options) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The local-only pre-pass probed one surgery optimization per user;
+	// charge it before fanning out so a budget below even that aborts here,
+	// deterministically, with no shard work spent.
+	pinOps := int64(len(sc.Users))
+	if err := opt.checkAbort(pinOps); err != nil {
+		return nil, err
+	}
 
 	clusters := sim.ClusterByServer(len(sc.Users), len(sc.Servers), false, func(ui int) int {
 		if pin[ui] != nil {
@@ -103,6 +110,19 @@ func (p *Planner) planSharded(sc *Scenario, opt Options) (*Plan, error) {
 	inner.ShardThreshold = 0 // shards plan monolithically
 	inner.Metrics = nil      // instrumentation is aggregated once, below
 	inner.Parallelism = innerParallelism(workers, countServerShards(clusters))
+	if opt.SurgeryBudget > 0 {
+		// Split the budget left after the pin pass evenly across server
+		// shards — a deterministic division, so which shard (if any)
+		// overruns is the same at every parallelism level; forEachIndex
+		// then surfaces the lowest-index shard's AbortedError.
+		if n := countServerShards(clusters); n > 0 {
+			share := (opt.SurgeryBudget - pinOps) / int64(n)
+			if share < 1 {
+				share = 1
+			}
+			inner.SurgeryBudget = share
+		}
+	}
 	planErr := forEachIndex(workers, len(clusters), func(ci int) error {
 		c := clusters[ci]
 		if c.Server < 0 {
@@ -130,6 +150,20 @@ func (p *Planner) planSharded(sc *Scenario, opt Options) (*Plan, error) {
 	}
 
 	st, bestObj := mergeShardPlans(sc, opt, clusters, shardPlans, pin, order)
+	// The merged state's own ledger restarts at the pin-pass cost; shard
+	// (and later cross-check) work arrives through sub-plan SurgeryOps so
+	// stampCounters doesn't double-count it. subOps tracks that sub-plan
+	// total for the checkpoints below.
+	st.spent = pinOps
+	var subOps int64
+	for _, sp := range shardPlans {
+		if sp != nil {
+			subOps += sp.SurgeryOps
+		}
+	}
+	if err := opt.checkAbort(st.spent + subOps); err != nil {
+		return nil, err
+	}
 
 	// Capacity reconciliation: migrate load between shards, then re-polish
 	// with the monotone surgery + allocation pair. The best-objective
@@ -164,6 +198,9 @@ func (p *Planner) planSharded(sc *Scenario, opt Options) (*Plan, error) {
 	for r := 0; r < maxRounds; r++ {
 		if opt.DisableReassignment || len(sc.Servers) < 2 {
 			break
+		}
+		if err := opt.checkAbort(st.spent + subOps); err != nil {
+			return nil, err
 		}
 		moved, touched := st.reconcileStep()
 		if moved == 0 && r == 0 {
@@ -205,13 +242,26 @@ func (p *Planner) planSharded(sc *Scenario, opt Options) (*Plan, error) {
 	// the check is skipped (it would double planning cost): there the
 	// reconciliation rounds are the whole story and E23 reports the
 	// measured gap instead.
-	if len(sc.Users) <= crossCheckUserLimit {
+	runCross := len(sc.Users) <= crossCheckUserLimit
+	crossBudget := int64(0)
+	if runCross && opt.SurgeryBudget > 0 {
+		// The cross-check runs on whatever budget remains; if nothing does,
+		// skip it deterministically (its failures are swallowed anyway, so
+		// an in-flight abort would only waste the charged work).
+		crossBudget = opt.SurgeryBudget - (st.spent + subOps)
+		if crossBudget < 1 {
+			runCross = false
+		}
+	}
+	if runCross {
 		mopt := opt
 		mopt.ShardThreshold = 0
 		mopt.Metrics = nil
+		mopt.SurgeryBudget = crossBudget
 		mp := Planner{Opt: mopt}
 		if mono, err := mp.Plan(sc); err == nil {
 			subPlans = append(subPlans, mono)
+			subOps += mono.SurgeryOps
 			traj = append(traj, mono.Objective)
 			if mono.Objective < bestObj {
 				bestObj = mono.Objective
@@ -219,6 +269,9 @@ func (p *Planner) planSharded(sc *Scenario, opt Options) (*Plan, error) {
 				bestFeasible = mono.Feasible
 			}
 		}
+	}
+	if err := opt.checkAbort(st.spent + subOps); err != nil {
+		return nil, err
 	}
 
 	plan := &Plan{
@@ -280,7 +333,7 @@ func pinLocalUsers(sc *Scenario, opt Options, assign []int) ([]*Decision, error)
 	// tabulates, so frontier-enabled runs answer the whole pass from the
 	// tables. Like the local cache above, its tallies stay off the plan's
 	// counters (the pass runs before any planning state exists).
-	front := newFrontierStats(opt.Frontiers, nil)
+	front := newFrontierStats(opt.Frontiers, nil, len(sc.Users), len(sc.Servers), !opt.DisableFrontierMemo)
 	err := forEachIndex(opt.parallelism(), len(sc.Users), func(ui int) error {
 		u := &sc.Users[ui]
 		srv := &sc.Servers[assign[ui]]
@@ -302,7 +355,7 @@ func pinLocalUsers(sc *Scenario, opt Options, assign []int) ([]*Decision, error)
 		var ev surgery.Eval
 		var ok bool
 		if front != nil {
-			plan, ev, ok = front.lookup(u.Model, env, sopt)
+			plan, ev, ok = front.lookup(ui, assign[ui], u.Model, env, sopt)
 		}
 		if !ok && cache != nil {
 			key = keyFor(u.Model, env, sopt)
@@ -355,7 +408,7 @@ func mergeShardPlans(sc *Scenario, opt Options, clusters []sim.Cluster, shardPla
 	if !opt.DisableSurgeryCache {
 		st.cache = newSurgeryCache(opt.Metrics)
 	}
-	st.front = newFrontierStats(opt.Frontiers, opt.Metrics)
+	st.front = newFrontierStats(opt.Frontiers, opt.Metrics, len(sc.Users), len(sc.Servers), !opt.DisableFrontierMemo)
 
 	for ci, c := range clusters {
 		if c.Server < 0 {
@@ -415,6 +468,7 @@ func (st *state) polishServers(touched []bool) error {
 			users = append(users, st.assigned[s]...)
 		}
 	}
+	st.spent += int64(len(users))
 	envs := make([]surgery.Env, len(users))
 	for i, ui := range users {
 		envs[i] = st.env(ui)
@@ -609,6 +663,7 @@ func (st *state) targets(s int, demand []float64) []int {
 // exactly. A surgery failure on the probe rejects the candidate (the
 // mover's current plan remains valid).
 func (st *state) tryMove(ui, s, to int, accept func(before, after float64) bool) bool {
+	st.spent += 2 // the mover's two surgery refreshes, charged up front
 	savedFrom := append([]int(nil), st.assigned[s]...)
 	savedTo := append([]int(nil), st.assigned[to]...)
 	savedFeasFrom, savedFeasTo := st.srvFeasible[s], st.srvFeasible[to]

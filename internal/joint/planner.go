@@ -1,6 +1,7 @@
 package joint
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -80,6 +81,25 @@ type Options struct {
 	// during the sweep, and planning fails for users with no plan under
 	// budget.
 	DeviceEnergyBudgetJ float64
+	// SurgeryBudget, when positive, bounds one Plan call's deterministic
+	// work budget measured in "surgery ops" — scheduled per-user surgery
+	// optimizations (each surgery pass charges its fan-out width, each
+	// reassignment candidate scan charges its full target list, whether or
+	// not lazy evaluation stopped early). The budget is checked only at
+	// sequential orchestration checkpoints, so an overrun aborts at the same
+	// round of the same run at every Parallelism level: Plan returns an
+	// *AbortedError and no partial plan. This is the control plane's
+	// virtual-clock replan deadline (Policy.ReplanDeadline); zero means
+	// unlimited. The sharded path splits the remaining budget evenly across
+	// server shards and skips the monolithic cross-check when nothing
+	// remains for it.
+	SurgeryBudget int64
+	// DisableFrontierMemo turns off the per-Plan (user, server)→table memo
+	// in front of the frontier set (the ablation arm of the key-hash
+	// avoidance benchmark). The memo never changes planner output — the
+	// resolved table is a pure function of the (user, server) pair within
+	// one Plan call — so this knob only moves the key-hash cost.
+	DisableFrontierMemo bool
 	// Metrics, when non-nil, receives the planner's instrumentation:
 	// "planner.plans" and "planner.iterations" counters plus the
 	// "planner.surgery_cache.hits"/".misses" and (on the frontier path)
@@ -87,6 +107,11 @@ type Options struct {
 	// calls; the per-call Plan fields remain exact deltas).
 	// Instrumentation never changes planner output.
 	Metrics *telemetry.Registry
+
+	// planCtx carries cooperative cancellation, set by PlanCtx — the only
+	// way in, so configuration codecs never see it. Checked at the same
+	// checkpoints as SurgeryBudget; nil means no cancellation.
+	planCtx context.Context
 }
 
 // surgeryOptions resolves the surgery option set for one user: the base
@@ -178,6 +203,9 @@ func (p *Planner) Plan(sc *Scenario) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := st.checkpoint(); err != nil {
+		return nil, err
+	}
 
 	// Round 0: initial surgery at equal shares, then allocation. The
 	// trajectory records the objective after every half-step so the
@@ -196,6 +224,9 @@ func (p *Planner) Plan(sc *Scenario) (*Plan, error) {
 
 	iters := 1
 	for ; iters < opt.MaxIters; iters++ {
+		if err := st.checkpoint(); err != nil {
+			return nil, err
+		}
 		if !opt.DisableReassignment && len(sc.Servers) > 1 {
 			if err := st.reassignStep(); err != nil {
 				return nil, err
@@ -217,6 +248,9 @@ func (p *Planner) Plan(sc *Scenario) (*Plan, error) {
 			break
 		}
 		prev = cur
+	}
+	if err := st.checkpoint(); err != nil {
+		return nil, err
 	}
 
 	plan := &Plan{
@@ -276,6 +310,9 @@ func PlanWithAssignment(sc *Scenario, opt Options, assign []int) (*Plan, error) 
 	bestFeasible := st.feasible
 	iters := 1
 	for ; iters < opt.MaxIters; iters++ {
+		if err := st.checkpoint(); err != nil {
+			return nil, err
+		}
 		if err := st.surgeryStep(); err != nil {
 			return nil, err
 		}
@@ -291,6 +328,9 @@ func PlanWithAssignment(sc *Scenario, opt Options, assign []int) (*Plan, error) 
 			break
 		}
 		prev = cur
+	}
+	if err := st.checkpoint(); err != nil {
+		return nil, err
 	}
 	plan := &Plan{
 		Decisions:   bestDs,
@@ -320,6 +360,14 @@ type state struct {
 	cache   *surgeryCache  // per-Plan-call surgery memoization (nil if disabled)
 	front   *frontierStats // frontier tables + hit/miss telemetry (nil = legacy path)
 	envBuf  []surgery.Env  // reusable per-user env snapshot for surgeryStep
+
+	// spent is the deterministic work ledger behind SurgeryBudget: every
+	// orchestration step charges the surgery optimizations it schedules
+	// (not the ones lazy evaluation or caching actually executed — those
+	// vary with Parallelism), so the total at any checkpoint is identical
+	// at every parallelism level. Scratch clones never charge; their work
+	// is covered by the scheduling step's upfront charge.
+	spent int64
 }
 
 func newState(sc *Scenario, opt Options) (*state, error) {
@@ -335,7 +383,7 @@ func newState(sc *Scenario, opt Options) (*state, error) {
 	if !opt.DisableSurgeryCache {
 		st.cache = newSurgeryCache(opt.Metrics)
 	}
-	st.front = newFrontierStats(opt.Frontiers, opt.Metrics)
+	st.front = newFrontierStats(opt.Frontiers, opt.Metrics, len(sc.Users), len(sc.Servers), !opt.DisableFrontierMemo)
 	for s := range sc.Servers {
 		st.uplink[s] = sc.meanUplink(s)
 	}
@@ -494,6 +542,7 @@ func (st *state) surgeryStep() error {
 	for ui := 0; ui < n; ui++ {
 		st.envBuf[ui] = st.env(ui)
 	}
+	st.spent += int64(n)
 	return forEachIndex(st.workers, n, func(ui int) error {
 		return st.optimizeUser(ui, st.envBuf[ui])
 	})
@@ -509,7 +558,7 @@ func (st *state) optimizeUser(ui int, env surgery.Env) error {
 	u := &st.sc.Users[ui]
 	sopt := st.opt.surgeryOptions(u)
 	if st.front != nil {
-		if plan, ev, ok := st.front.lookup(u.Model, env, sopt); ok {
+		if plan, ev, ok := st.front.lookup(ui, st.ds[ui].Server, u.Model, env, sopt); ok {
 			st.ds[ui].Plan = plan
 			st.ds[ui].Eval = ev
 			return nil
@@ -642,6 +691,11 @@ func (st *state) reassignStep() error {
 				targets = append(targets, to)
 			}
 		}
+		// Charge the full candidate scan up front — two surgery refreshes
+		// per target, whether the lazy serial scan stops early or the eager
+		// parallel one evaluates everything — so the budget ledger is
+		// parallelism-invariant.
+		st.spent += int64(2 * len(targets))
 		var cands []candidate
 		if st.workers <= 1 || len(targets) <= 1 {
 			// Lazy first-improvement scan: stop at the first winner so the

@@ -156,7 +156,7 @@ func (c *surgeryCache) counters() (hits, misses int64) {
 // and planSharded), so new counter kinds are added here once instead of
 // being copied per call site.
 func (st *state) stampCounters(plan *Plan, sub ...*Plan) {
-	var sch, scm, sfh, sfm int64
+	var sch, scm, sfh, sfm, sops int64
 	for _, sp := range sub {
 		if sp == nil {
 			continue
@@ -165,6 +165,7 @@ func (st *state) stampCounters(plan *Plan, sub ...*Plan) {
 		scm += sp.SurgeryCacheMisses
 		sfh += sp.FrontierHits
 		sfm += sp.FrontierMisses
+		sops += sp.SurgeryOps
 	}
 	if reg := st.opt.Metrics; reg != nil {
 		// Publish only non-zero sub-plan tallies: a zero Add would still
@@ -185,6 +186,7 @@ func (st *state) stampCounters(plan *Plan, sub ...*Plan) {
 	}
 	plan.SurgeryCacheHits, plan.SurgeryCacheMisses = sch, scm
 	plan.FrontierHits, plan.FrontierMisses = sfh, sfm
+	plan.SurgeryOps = st.spent + sops
 	if st.cache != nil {
 		h, m := st.cache.counters()
 		plan.SurgeryCacheHits += h

@@ -219,6 +219,12 @@ type Plan struct {
 	// grid-snapped shares a table would use, the mix never affects the
 	// plan — only these counters.
 	FrontierHits, FrontierMisses int64
+	// SurgeryOps is the deterministic work total the plan was charged in
+	// scheduled surgery optimizations — the ledger Options.SurgeryBudget
+	// bounds. It is identical at every Parallelism level (scheduled, not
+	// executed, work), which is what lets the control plane's replan
+	// deadline abort reproducibly under replay.
+	SurgeryOps int64
 }
 
 // Strategy is anything that can plan a scenario: the joint planner and

@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"time"
+
+	"edgesurgeon/internal/faults"
+	"edgesurgeon/internal/joint"
+	"edgesurgeon/internal/telemetry"
+)
+
+// This file is the chaos-replay harness: RunChaos drives a recorded
+// telemetry trace through a store-backed Runtime while a seeded
+// faults.ChaosSchedule kills the process, throttles the planner and
+// corrupts samples at fixed ordinals. Because every chaos event is keyed
+// to a sample ordinal and every recovery is exact, a chaos replay is as
+// deterministic as a clean one — which is what lets the E25 experiment
+// and `make chaos-smoke` assert bit-identical output under fire.
+
+// ChaosResult tallies what a chaos replay survived.
+type ChaosResult struct {
+	// Runtime is the final (possibly recovered) control plane, for
+	// inspecting plan, journal and metrics.
+	Runtime *Runtime
+	// Crashes is how many kill/recover cycles ran.
+	Crashes int
+	// Corrupted is how many samples were mangled before ingestion.
+	Corrupted int
+	// Rejections is how many ingests returned a validation or quarantine
+	// error (reproducible history, not harness failures).
+	Rejections int
+	// Throttles is how many planner-speed changes were applied.
+	Throttles int
+}
+
+// RunChaos replays samples through a runtime built from cfg under the
+// chaos schedule. cfg.Store must be set when the schedule contains
+// CrashAfterSample events — a crash abandons the runtime and recovers a
+// fresh one from the store's directory. The caller owns the returned
+// result's Runtime (and should Close it).
+func RunChaos(cfg Config, samples []telemetry.Sample, chaos *faults.ChaosSchedule) (*ChaosResult, error) {
+	if chaos != nil {
+		for _, e := range chaos.Events() {
+			if e.Kind == faults.CrashAfterSample && cfg.Store == nil {
+				return nil, fmt.Errorf("serve: chaos schedule crashes at sample %d but config has no store", e.Sample)
+			}
+		}
+	}
+	var dir string
+	if cfg.Store != nil {
+		dir = cfg.Store.Dir()
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &ChaosResult{Runtime: rt}
+	throttle := 1.0
+	for i := range samples {
+		if f := chaos.PlannerFactor(i); f != throttle {
+			if err := rt.SetPlannerThrottle(f); err != nil {
+				return res, fmt.Errorf("serve: chaos throttle at sample %d: %w", i, err)
+			}
+			throttle = f
+			res.Throttles++
+		}
+		s := samples[i]
+		if kind, ok := chaos.Corruption(i); ok {
+			s = corruptSample(s, kind)
+			res.Corrupted++
+		}
+		if _, err := rt.Ingest(s); err != nil {
+			var bad *joint.BadObservationError
+			var q *QuarantineError
+			if !errors.As(err, &bad) && !errors.As(err, &q) && !strings.Contains(err.Error(), "observed") {
+				return res, fmt.Errorf("serve: chaos sample %d: %w", i, err)
+			}
+			res.Rejections++
+		}
+		if chaos.CrashAfter(i) {
+			if err := rt.Close(); err != nil {
+				return res, fmt.Errorf("serve: chaos crash after sample %d: %w", i, err)
+			}
+			store, err := OpenStore(dir)
+			if err != nil {
+				return res, fmt.Errorf("serve: chaos recovery after sample %d: %w", i, err)
+			}
+			cfg.Store = store
+			rt, err = Recover(cfg)
+			if err != nil {
+				store.Close()
+				return res, fmt.Errorf("serve: chaos recovery after sample %d: %w", i, err)
+			}
+			res.Runtime = rt
+			res.Crashes++
+			// The recovered runtime replayed the WAL tail, which includes
+			// any throttle change; our local mirror is still valid.
+		}
+	}
+	return res, nil
+}
+
+// corruptSample applies one chaos mangling. Every corruption carries the
+// "chaos" source so quarantine accounting attributes the strikes.
+func corruptSample(s telemetry.Sample, kind faults.CorruptKind) telemetry.Sample {
+	c := s
+	c.Source = "chaos"
+	c.Uplinks = append([]float64(nil), s.Uplinks...)
+	if len(c.Uplinks) == 0 {
+		c.Uplinks = []float64{0}
+	}
+	switch kind {
+	case faults.CorruptNaN:
+		c.Uplinks[0] = math.NaN()
+	case faults.CorruptNegative:
+		c.Uplinks[0] = -1
+	case faults.CorruptTimeRegression:
+		c.Time = -1
+	case faults.CorruptWidth:
+		c.Uplinks = append(c.Uplinks, 0)
+	}
+	return c
+}
+
+// CheckGoroutineLeak polls until the process goroutine count has settled
+// back to the baseline taken before a chaos run, tolerating the runtime's
+// brief teardown lag. It returns an error naming the counts if goroutines
+// are still leaked after the grace period — the chaos smoke target treats
+// that as a failed run.
+func CheckGoroutineLeak(baseline int) error {
+	deadline := time.Now().Add(2 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	if n > baseline {
+		return fmt.Errorf("serve: %d goroutines still running, baseline was %d", n, baseline)
+	}
+	return nil
+}

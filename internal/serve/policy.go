@@ -31,7 +31,33 @@ type Policy struct {
 	// metered but trigger neither full replans nor cheap refreshes — the
 	// static-deployment control arm.
 	NeverReplan bool
+	// ReplanDeadline bounds how long a full replan may run, in virtual
+	// seconds of planner work: the planner is granted a surgery-op budget of
+	// ReplanDeadline × PlannerOpsPerSec and aborts deterministically when a
+	// replan would exceed it; the previous valid plan stays published and
+	// the abort is journaled (feeding the MinInterval debounce). 0 disables
+	// the deadline. The budget is over scheduled planner work, never wall
+	// time, so a deadline abort replays bit-identically.
+	ReplanDeadline float64
+	// PlannerOpsPerSec calibrates ReplanDeadline: how many surgery
+	// optimizations the planner is assumed to schedule per virtual second
+	// (0 means DefaultPlannerOpsPerSec). Only meaningful with
+	// ReplanDeadline > 0.
+	PlannerOpsPerSec float64
+	// QuarantineStrikes is how many consecutive validation failures from
+	// one telemetry source trip its quarantine: further samples from the
+	// source are dropped (counted, not erroring) until readmission. 0
+	// disables quarantine. A valid sample resets the source's strikes.
+	QuarantineStrikes int
+	// QuarantineProbation is how many virtual seconds a quarantined source
+	// stays muted before it is readmitted on probation. Required positive
+	// when QuarantineStrikes > 0.
+	QuarantineProbation float64
 }
+
+// DefaultPlannerOpsPerSec is the ReplanDeadline calibration used when
+// Policy.PlannerOpsPerSec is zero.
+const DefaultPlannerOpsPerSec = 1000
 
 // AlwaysReplan returns the policy that fully replans on every uplink
 // observation — the upper-bound (and most expensive) control arm.
@@ -65,11 +91,26 @@ func (p Policy) Validate() error {
 	if err := check("Window", p.Window); err != nil {
 		return err
 	}
+	if err := check("ReplanDeadline", p.ReplanDeadline); err != nil {
+		return err
+	}
+	if err := check("PlannerOpsPerSec", p.PlannerOpsPerSec); err != nil {
+		return err
+	}
+	if err := check("QuarantineProbation", p.QuarantineProbation); err != nil {
+		return err
+	}
 	if p.Budget < 0 {
 		return fmt.Errorf("serve: policy Budget %d is negative", p.Budget)
 	}
 	if p.Budget > 0 && p.Window <= 0 {
 		return fmt.Errorf("serve: policy Budget %d needs a positive Window", p.Budget)
+	}
+	if p.QuarantineStrikes < 0 {
+		return fmt.Errorf("serve: policy QuarantineStrikes %d is negative", p.QuarantineStrikes)
+	}
+	if p.QuarantineStrikes > 0 && p.QuarantineProbation <= 0 {
+		return fmt.Errorf("serve: policy QuarantineStrikes %d needs a positive QuarantineProbation", p.QuarantineStrikes)
 	}
 	return nil
 }

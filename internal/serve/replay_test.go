@@ -50,19 +50,8 @@ func recordReplayTrace(t testing.TB) []telemetry.Sample {
 	return trace
 }
 
-// encodePlan renders every decision a plan carries into a deterministic
-// text form, so two replays can be compared byte for byte.
-func encodePlan(p *joint.Plan) string {
-	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
-	var b strings.Builder
-	fmt.Fprintf(&b, "planner=%s objective=%s feasible=%t\n", p.PlannerName, g(p.Objective), p.Feasible)
-	for ui := range p.Decisions {
-		d := &p.Decisions[ui]
-		fmt.Fprintf(&b, "  u%02d server=%d plan=%s shares=%s/%s latency=%s\n",
-			ui, d.Server, d.Plan, g(d.ComputeShare), g(d.BandwidthShare), g(d.Latency()))
-	}
-	return b.String()
-}
+// encodePlan delegates to the exported deterministic plan encoding.
+func encodePlan(p *joint.Plan) string { return EncodePlan(p) }
 
 // runReplay replays the fixture trace through a fresh runtime with the
 // given planner options and returns the three byte-comparable artifacts:

@@ -12,6 +12,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -41,7 +42,37 @@ const (
 	// EventNoChange is a sample that observed nothing actionable (or any
 	// sample under the never-replan policy).
 	EventNoChange telemetry.EventKind = "no-change"
+	// EventAbortedReplan is a full replan that exceeded the
+	// Policy.ReplanDeadline surgery-op budget and was abandoned; the
+	// previous valid plan stayed published (refreshed through the cheap
+	// path) and the abort feeds the MinInterval debounce.
+	EventAbortedReplan telemetry.EventKind = "aborted-replan"
+	// EventQuarantine is a telemetry source tripping its quarantine after
+	// Policy.QuarantineStrikes consecutive validation failures.
+	EventQuarantine telemetry.EventKind = "quarantine"
+	// EventQuarantineReadmit is a quarantined source readmitted on
+	// probation after Policy.QuarantineProbation virtual seconds.
+	EventQuarantineReadmit telemetry.EventKind = "quarantine-readmit"
 )
+
+// QuarantineError reports the sample that tripped a source's quarantine.
+// It surfaces only on that tripping call; subsequent samples from the
+// muted source are dropped silently (counted in
+// "serve.quarantine.dropped") until readmission.
+type QuarantineError struct {
+	// Source is the quarantined telemetry source ("" = the anonymous
+	// source).
+	Source string
+	// Strikes is how many consecutive validation failures tripped it.
+	Strikes int
+	// Until is the virtual time at which the source is readmitted.
+	Until float64
+}
+
+// Error implements error.
+func (e *QuarantineError) Error() string {
+	return fmt.Sprintf("serve: source %q quarantined until t=%g after %d validation failures", e.Source, e.Until, e.Strikes)
+}
 
 // Config assembles a Runtime.
 type Config struct {
@@ -64,6 +95,13 @@ type Config struct {
 	// and table counts land in the "serve.frontier.*" series. Off by
 	// default: the legacy optimizer path stays bit-identical.
 	Frontier bool
+	// Store, when set, makes the runtime crash-safe: every ingested sample
+	// is written ahead to the store's WAL before it is acted on, and a
+	// fresh snapshot is written at construction and after every successful
+	// full replan. Recover rebuilds a byte-identical runtime from the
+	// store plus the same Config. The runtime owns the store once handed
+	// over; Close releases it. Nil runs in-memory only.
+	Store *Store
 }
 
 // Runtime is the online serving loop's state machine. Methods are safe for
@@ -85,11 +123,25 @@ type Runtime struct {
 	planRates []float64 // rates the current full plan was computed at
 	down      []bool    // per-server health state, mirrors the dispatcher's
 	lastFull  float64   // virtual time of the last full replan
+	lastAbort float64   // virtual time of the last deadline-aborted replan
 	fullTimes []float64 // full-replan times inside the trailing budget window
 
+	store      *Store                  // nil = in-memory only
+	seq        uint64                  // WAL sequence of the last ingested mutation
+	throttle   float64                 // planner speed factor in (0, 1], scales the replan budget
+	sources    map[string]*sourceState // per-source quarantine tracking
+	recovering bool                    // true while replaying the WAL tail (suppresses persistence)
+
 	cSamples, cRejected, cFull, cCheap, cDeferred, cNoChange *telemetry.Counter
+	cAborted, cQDropped, cQuarantined, cQReadmit             *telemetry.Counter
 	gObjective, gFeasible, gClock                            *telemetry.Gauge
 	hDrift                                                   *telemetry.Histogram
+}
+
+// sourceState tracks one telemetry source's quarantine standing.
+type sourceState struct {
+	strikes int     // consecutive validation failures
+	until   float64 // muted until this virtual time (0 = not quarantined)
 }
 
 // New validates the configuration, plans the scenario once (the initial
@@ -113,24 +165,7 @@ func New(cfg Config) (*Runtime, error) {
 	planner := &joint.Planner{Opt: base.Opt}
 	planner.Opt.Metrics = reg
 
-	rt := &Runtime{
-		sc:       cfg.Scenario,
-		planner:  planner,
-		policy:   cfg.Policy,
-		reg:      reg,
-		frontier: cfg.Frontier,
-
-		cSamples:   reg.Counter("serve.samples"),
-		cRejected:  reg.Counter("serve.samples_rejected"),
-		cFull:      reg.Counter("serve.replans.full"),
-		cCheap:     reg.Counter("serve.replans.cheap"),
-		cDeferred:  reg.Counter("serve.replans.deferred"),
-		cNoChange:  reg.Counter("serve.no_change"),
-		gObjective: reg.Gauge("serve.plan.objective"),
-		gFeasible:  reg.Gauge("serve.plan.feasible"),
-		gClock:     reg.Gauge("serve.clock"),
-		hDrift:     reg.Histogram("serve.uplink_rel_change", 0.05, 0.1, 0.2, 0.4, 0.8),
-	}
+	rt := newShell(cfg, planner, reg)
 	if rt.frontier {
 		if err := rt.buildFrontiers(cfg.Scenario); err != nil {
 			return nil, fmt.Errorf("serve: %w", err)
@@ -157,7 +192,44 @@ func New(cfg Config) (*Runtime, error) {
 		Time: 0, Kind: EventInitialPlan, Value: disp.Current().Objective,
 		Reason: disp.Current().PlannerName,
 	})
+	if rt.store != nil {
+		if err := rt.store.WriteSnapshot(rt.captureSnapshot()); err != nil {
+			return nil, err
+		}
+	}
 	return rt, nil
+}
+
+// newShell builds the runtime skeleton New and the recovery constructor
+// share: the wired registry series, the quarantine table, the store handle.
+// Every counter is registered here unconditionally so a runtime that never
+// aborts or quarantines still renders the same metric schema.
+func newShell(cfg Config, planner *joint.Planner, reg *telemetry.Registry) *Runtime {
+	return &Runtime{
+		sc:       cfg.Scenario,
+		planner:  planner,
+		policy:   cfg.Policy,
+		reg:      reg,
+		frontier: cfg.Frontier,
+		store:    cfg.Store,
+		throttle: 1,
+		sources:  make(map[string]*sourceState),
+
+		cSamples:     reg.Counter("serve.samples"),
+		cRejected:    reg.Counter("serve.samples_rejected"),
+		cFull:        reg.Counter("serve.replans.full"),
+		cCheap:       reg.Counter("serve.replans.cheap"),
+		cDeferred:    reg.Counter("serve.replans.deferred"),
+		cNoChange:    reg.Counter("serve.no_change"),
+		cAborted:     reg.Counter("serve.replans.aborted"),
+		cQDropped:    reg.Counter("serve.quarantine.dropped"),
+		cQuarantined: reg.Counter("serve.quarantine.quarantined"),
+		cQReadmit:    reg.Counter("serve.quarantine.readmitted"),
+		gObjective:   reg.Gauge("serve.plan.objective"),
+		gFeasible:    reg.Gauge("serve.plan.feasible"),
+		gClock:       reg.Gauge("serve.clock"),
+		hDrift:       reg.Histogram("serve.uplink_rel_change", 0.05, 0.1, 0.2, 0.4, 0.8),
+	}
 }
 
 // Current returns the active plan.
@@ -188,14 +260,49 @@ func (rt *Runtime) FullReplans() int64 { return rt.cFull.Value() }
 // decides between full replan / cheap refresh / nothing under the policy,
 // and returns the now-active plan. A rejected sample (typed
 // *joint.BadObservationError for malformed values, plain errors for
-// structural mismatches) leaves clock, plan and dispatcher untouched.
+// structural mismatches, *QuarantineError on the strike that trips a
+// source's quarantine) leaves clock, plan and dispatcher untouched; a
+// sample from an already-quarantined source is dropped silently and the
+// current plan returned. With a store attached, the sample is written
+// ahead to the WAL — validated or not; the log records inputs, so
+// replaying it reproduces rejections and quarantine trips too — before
+// anything else happens.
 func (rt *Runtime) Ingest(s telemetry.Sample) (*joint.Plan, error) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 
+	rt.seq++
+	if rt.store != nil && !rt.recovering {
+		if err := rt.store.AppendEntry(WALEntry{Seq: rt.seq, Sample: &s}); err != nil {
+			return nil, err
+		}
+	}
+
+	if rt.policy.QuarantineStrikes > 0 {
+		if q := rt.sources[s.Source]; q != nil && q.until > 0 {
+			t := rt.sampleClock(&s)
+			if t < q.until {
+				rt.cQDropped.Inc()
+				return rt.disp.Current(), nil
+			}
+			q.until = 0
+			rt.cQReadmit.Inc()
+			rt.journal.Record(telemetry.Event{
+				Time: t, Kind: EventQuarantineReadmit,
+				Reason: fmt.Sprintf("source %q readmitted on probation", s.Source),
+			})
+		}
+	}
+
 	if err := rt.validate(&s); err != nil {
 		rt.cRejected.Inc()
+		if qerr := rt.strike(&s); qerr != nil {
+			return nil, qerr
+		}
 		return nil, err
+	}
+	if q := rt.sources[s.Source]; q != nil {
+		q.strikes = 0 // a valid sample clears the source's standing
 	}
 	rt.clock = s.Time
 	rt.cSamples.Inc()
@@ -232,10 +339,12 @@ func (rt *Runtime) Ingest(s telemetry.Sample) (*joint.Plan, error) {
 	}
 
 	// Hysteresis: does this drift deserve a full replan, and may we afford
-	// one now?
+	// one now? A deadline-aborted attempt arms the same debounce a
+	// completed replan does — retrying an over-budget replan on the very
+	// next sample would thrash.
 	deferred := telemetry.EventKind("")
 	wantFull := drifted && maxRel >= rt.policy.RelChange
-	if wantFull && rt.policy.MinInterval > 0 && s.Time-rt.lastFull < rt.policy.MinInterval {
+	if wantFull && rt.policy.MinInterval > 0 && s.Time-math.Max(rt.lastFull, rt.lastAbort) < rt.policy.MinInterval {
 		wantFull, deferred = false, EventDeferredInterval
 	}
 	if wantFull && rt.policy.Budget > 0 {
@@ -252,36 +361,159 @@ func (rt *Runtime) Ingest(s telemetry.Sample) (*joint.Plan, error) {
 	}
 
 	if wantFull {
-		if err := rt.fullReplan(s.Time, maxRel); err != nil {
+		abort, err := rt.fullReplan(s.Time, maxRel)
+		if err != nil {
 			return nil, err
 		}
-		return rt.disp.Current(), nil
+		if abort == nil {
+			return rt.disp.Current(), nil
+		}
+		// Stale-plan fallback: the replan blew its deadline, so the
+		// previous valid plan stays published, refreshed through the cheap
+		// path so the observed rates and health still land.
+		plan, err := rt.disp.Observe(s.Health, s.Uplinks)
+		if err != nil {
+			return nil, fmt.Errorf("serve: stale-plan refresh at t=%g: %w", s.Time, err)
+		}
+		rt.publish(plan)
+		rt.journal.Record(telemetry.Event{
+			Time: s.Time, Kind: EventAbortedReplan, Value: plan.Objective,
+			Reason: fmt.Sprintf("replan budget %d exceeded at %d ops; stale plan kept", abort.Budget, abort.SurgeryOps),
+		})
+		return plan, nil
 	}
 	return rt.cheapRefresh(&s, deferred, maxRel)
 }
 
-// fullReplan rebuilds the deployment plan from scratch against the
-// last-known uplink rates (frozen as static links), reapplies the current
-// health state, and makes the result the dispatcher's new pristine base.
-func (rt *Runtime) fullReplan(now, maxRel float64) error {
+// strike records a validation failure against the sample's source and
+// trips its quarantine on the K-th consecutive one, returning the typed
+// error for that tripping call only. No-op (nil) when quarantine is off.
+func (rt *Runtime) strike(s *telemetry.Sample) error {
+	if rt.policy.QuarantineStrikes <= 0 {
+		return nil
+	}
+	q := rt.sources[s.Source]
+	if q == nil {
+		q = &sourceState{}
+		rt.sources[s.Source] = q
+	}
+	q.strikes++
+	if q.strikes < rt.policy.QuarantineStrikes {
+		return nil
+	}
+	t := rt.sampleClock(s)
+	q.strikes = 0
+	q.until = t + rt.policy.QuarantineProbation
+	rt.cQuarantined.Inc()
+	rt.journal.Record(telemetry.Event{
+		Time: t, Kind: EventQuarantine, Value: float64(rt.policy.QuarantineStrikes),
+		Reason: fmt.Sprintf("source %q muted until t=%g", s.Source, q.until),
+	})
+	return &QuarantineError{Source: s.Source, Strikes: rt.policy.QuarantineStrikes, Until: q.until}
+}
+
+// sampleClock maps a possibly-malformed sample onto the virtual timeline:
+// its own time when sane, the current clock otherwise (a NaN or regressed
+// timestamp must not move quarantine deadlines backwards).
+func (rt *Runtime) sampleClock(s *telemetry.Sample) float64 {
+	if !math.IsNaN(s.Time) && !math.IsInf(s.Time, 0) && s.Time >= rt.clock {
+		return s.Time
+	}
+	return rt.clock
+}
+
+// replanBudget converts the policy's virtual-time deadline into the
+// planner's deterministic surgery-op budget, scaled by the current
+// throttle. 0 = no deadline.
+func (rt *Runtime) replanBudget() int64 {
+	if rt.policy.ReplanDeadline <= 0 {
+		return 0
+	}
+	ops := rt.policy.PlannerOpsPerSec
+	if ops <= 0 {
+		ops = DefaultPlannerOpsPerSec
+	}
+	b := int64(rt.policy.ReplanDeadline * ops * rt.throttle)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// SetPlannerThrottle scales the virtual planner speed the replan deadline
+// is calibrated against: factor 0.1 means the planner runs at a tenth of
+// its assumed ops/second (a CPU-starved control plane), shrinking the
+// surgery-op budget accordingly. The change is a WAL-logged control
+// mutation, so a crash-recovered runtime reapplies it at the same point in
+// the sample stream — which is how the chaos harness makes "slow planner ×
+// crash" deterministic.
+func (rt *Runtime) SetPlannerThrottle(factor float64) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if math.IsNaN(factor) || factor <= 0 || factor > 1 {
+		return fmt.Errorf("serve: planner throttle %g is outside (0, 1]", factor)
+	}
+	rt.seq++
+	if rt.store != nil && !rt.recovering {
+		if err := rt.store.AppendEntry(WALEntry{Seq: rt.seq, Throttle: factor}); err != nil {
+			return err
+		}
+	}
+	rt.throttle = factor
+	return nil
+}
+
+// frozenScenario freezes the runtime's scenario at the given per-server
+// uplink rates (static links, everything else shared). Both the full
+// replan and crash recovery plan against this frozen view, which is what
+// makes the recovered plan bit-identical to the one that was lost.
+func (rt *Runtime) frozenScenario(rates []float64) *joint.Scenario {
 	frozen := *rt.sc
 	frozen.Servers = append([]joint.Server(nil), rt.sc.Servers...)
 	frozen.Users = append([]joint.User(nil), rt.sc.Users...)
 	for i := range frozen.Servers {
 		orig := rt.sc.Servers[i].Link
-		frozen.Servers[i].Link = netmodel.NewStatic(orig.Name(), rt.rates[i], orig.RTT())
+		frozen.Servers[i].Link = netmodel.NewStatic(orig.Name(), rates[i], orig.RTT())
 	}
+	return &frozen
+}
+
+// fullReplan rebuilds the deployment plan from scratch against the
+// last-known uplink rates (frozen as static links), reapplies the current
+// health state, and makes the result the dispatcher's new pristine base.
+// Under a Policy.ReplanDeadline the planner runs with the corresponding
+// surgery-op budget; a replan that would exceed it is abandoned
+// deterministically and returned as the non-nil abort — the caller keeps
+// serving the previous plan. On success (with a store attached) the new
+// state is snapshotted and the WAL reset.
+func (rt *Runtime) fullReplan(now, maxRel float64) (*joint.AbortedError, error) {
+	frozen := rt.frozenScenario(rt.rates)
+	prevSet := rt.planner.Opt.Frontiers
 	if rt.frontier {
 		// The drifted rates are new frontier keys; rebuild the tables
 		// against the frozen scenario so the replan (and every cheap
 		// refresh at these rates) stays on the table path.
-		if err := rt.buildFrontiers(&frozen); err != nil {
-			return fmt.Errorf("serve: full replan at t=%g: %w", now, err)
+		if err := rt.buildFrontiers(frozen); err != nil {
+			return nil, fmt.Errorf("serve: full replan at t=%g: %w", now, err)
 		}
 	}
-	disp, err := joint.NewDispatcher(&frozen, rt.planner)
+	rt.planner.Opt.SurgeryBudget = rt.replanBudget()
+	disp, err := joint.NewDispatcher(frozen, rt.planner)
+	rt.planner.Opt.SurgeryBudget = 0
 	if err != nil {
-		return fmt.Errorf("serve: full replan at t=%g: %w", now, err)
+		var abort *joint.AbortedError
+		if errors.As(err, &abort) {
+			// The published plan (and its frontier tables) stays; the
+			// abort arms the debounce and burns a budget-window slot, so
+			// a persistently over-budget environment degrades to the
+			// cheap path instead of thrashing on replan attempts.
+			rt.planner.Opt.Frontiers = prevSet
+			rt.lastAbort = now
+			rt.fullTimes = append(rt.fullTimes, now)
+			rt.cAborted.Inc()
+			return abort, nil
+		}
+		return nil, fmt.Errorf("serve: full replan at t=%g: %w", now, err)
 	}
 	disp.Instrument(rt.reg)
 	anyDown := false
@@ -292,7 +524,7 @@ func (rt *Runtime) fullReplan(now, maxRel float64) error {
 	}
 	if anyDown {
 		if _, err := disp.ObserveHealth(up); err != nil {
-			return fmt.Errorf("serve: full replan at t=%g: applying health: %w", now, err)
+			return nil, fmt.Errorf("serve: full replan at t=%g: applying health: %w", now, err)
 		}
 	}
 	rt.disp = disp
@@ -306,7 +538,16 @@ func (rt *Runtime) fullReplan(now, maxRel float64) error {
 		Time: now, Kind: EventFullReplan, Value: plan.Objective,
 		Reason: fmt.Sprintf("max uplink drift %.3g >= %.3g", maxRel, rt.policy.RelChange),
 	})
-	return nil
+	if rt.store != nil && !rt.recovering {
+		// The base plan just changed; fold everything into a fresh
+		// snapshot. Snapshot first, WAL reset second: a crash between the
+		// two leaves entries the snapshot already folded, which recovery
+		// skips by Seq.
+		if err := rt.store.WriteSnapshot(rt.captureSnapshot()); err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
 }
 
 // cheapRefresh routes the sample through the dispatcher's inexpensive

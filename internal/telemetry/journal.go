@@ -12,17 +12,18 @@ type EventKind string
 
 // Event is one timestamped control-plane decision. Time is virtual
 // seconds — the journal never reads a wall clock, so replaying a recorded
-// trace reproduces the journal bit for bit.
+// trace reproduces the journal bit for bit. The JSON tags are the wire
+// form events take inside control-plane snapshots.
 type Event struct {
 	// Time is the virtual timestamp of the decision.
-	Time float64
+	Time float64 `json:"t"`
 	// Kind classifies the decision (e.g. "full-replan").
-	Kind EventKind
+	Kind EventKind `json:"kind"`
 	// Reason is a short human-readable cause ("uplink drift 0.34 >= 0.2").
-	Reason string
+	Reason string `json:"reason,omitempty"`
 	// Value carries the decision's headline number (typically the plan
 	// objective after the decision).
-	Value float64
+	Value float64 `json:"value,omitempty"`
 }
 
 // String renders the event on one deterministic line.
@@ -44,6 +45,14 @@ type Journal struct {
 func (j *Journal) Record(e Event) {
 	j.mu.Lock()
 	j.events = append(j.events, e)
+	j.mu.Unlock()
+}
+
+// Reset replaces the journal's contents wholesale — the crash-recovery
+// path restoring a snapshot's event history before replaying the WAL tail.
+func (j *Journal) Reset(events []Event) {
+	j.mu.Lock()
+	j.events = append(j.events[:0:0], events...)
 	j.mu.Unlock()
 }
 

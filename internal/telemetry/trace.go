@@ -22,6 +22,10 @@ type Sample struct {
 	// Health holds the per-server reachability probe (compute and uplink
 	// both up); nil means no probe this sample.
 	Health []bool `json:"health,omitempty"`
+	// Source names the process or sensor that produced the sample; the
+	// control plane's quarantine tracks validation failures per source.
+	// Empty is a valid (anonymous) source.
+	Source string `json:"src,omitempty"`
 }
 
 // EncodeTrace writes samples as JSON lines (one sample per line), the
