@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race fuzz-smoke bench bench-smoke bench-planner-smoke bench-frontier-smoke serve-smoke chaos-smoke experiments examples cover clean
+.PHONY: all build vet test test-short test-race fuzz-smoke bench bench-smoke bench-planner-smoke bench-frontier-smoke bench-replan-smoke serve-smoke chaos-smoke experiments examples cover clean
 
 all: build vet test
 
@@ -23,7 +23,7 @@ test-short:
 # simulator (component worker pool + differential equivalence tests), and
 # a small E21 scale run through the experiments arm pool.
 test-race:
-	$(GO) test -race ./internal/joint/... ./internal/surgery/... ./internal/sim/... ./internal/telemetry/... ./internal/serve/...
+	$(GO) test -race -timeout 30m ./internal/joint/... ./internal/surgery/... ./internal/sim/... ./internal/telemetry/... ./internal/serve/...
 	$(GO) test -race -run 'TestE21SmallScaleAgrees' ./internal/experiments
 
 # Short fuzzing pass over the optimizer kernels (~10 s per target): the
@@ -63,6 +63,14 @@ bench-planner-smoke:
 bench-frontier-smoke:
 	$(GO) run ./cmd/experiments -run E24 -quick -bench-json BENCH_planner.json \
 		-require-metrics E24.speedup_vs_legacy,E24.frontier_wallclock_sec,E24.build_sec,E24.hit_rate_pct,E24.parity_ok
+
+# Replan-latency guard for CI: the CI-sized E26 delta-replan study (full
+# replan vs dirty-single-shard delta replan from the same previous plan),
+# merged into the same BENCH_planner.json, with its metric keys asserted
+# present.
+bench-replan-smoke:
+	$(GO) run ./cmd/experiments -run E26 -quick -bench-json BENCH_planner.json \
+		-require-metrics E26.replan_speedup,E26.delta_gap_pct,E26.full_replan_sec,E26.delta_replan_sec,E26.users_max
 
 # Control-plane smoke for CI: replay the bundled drifting + faulty trace
 # through cmd/edgeserved and pin the hysteresis policy's full-replan count

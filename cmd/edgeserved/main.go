@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -187,13 +188,25 @@ func main() {
 		recoverRun  = flag.Bool("recover", false, "recover the control plane from -snapshot-dir and continue the trace from where it crashed")
 		verifyRec   = flag.Bool("verify-recovery", false, "after a chaos replay with crashes, rerun without the crashes and exit non-zero unless journal, metrics and final plan are byte-identical")
 
+		deltaReplan   = flag.Bool("delta-replan", false, "route qualifying replans through the incremental delta planner: only drifted servers' shards are re-planned, warm-started from the active plan (same hysteresis gates and deadline budget as full replans)")
+		deltaDirtyMax = flag.Float64("delta-dirty-frac", -1, "override: max fraction of servers that may be dirty for a delta replan; wider drift falls back to a full replan (default 0.5)")
+
 		replanDeadline = flag.Float64("replan-deadline", -1, "override: virtual-seconds deadline for one full replan (0 = unbounded); an over-deadline replan aborts and keeps serving the stale plan")
 		qStrikes       = flag.Int("quarantine-strikes", -1, "override: consecutive validation failures before a telemetry source is quarantined (0 = off)")
 		qProbation     = flag.Float64("quarantine-probation", -1, "override: virtual seconds a quarantined source stays muted")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Var(&faultSpecs, "fault", "fault window kind:server:start:end[:factor] (repeatable, record mode)")
 	flag.Var(&chaosSpecs, "chaos", "chaos event crash:I | slow:FROM:TO:FACTOR | corrupt:I:KIND (repeatable, replay mode)")
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	if *scenarioPath == "" {
 		fmt.Fprintln(os.Stderr, "edgeserved: -scenario required")
@@ -219,6 +232,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *deltaReplan {
+			policy.DeltaReplan = true
+		}
+		if *deltaDirtyMax >= 0 {
+			policy.DeltaMaxDirtyFrac = *deltaDirtyMax
+		}
+		if err := policy.Validate(); err != nil {
+			fatal(err)
+		}
 		opts := replayOpts{
 			tracePath: *tracePath, journalPath: *journalPath,
 			expectFull: *expectFull, httpAddr: *httpAddr,
@@ -238,6 +260,42 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "edgeserved: %v\n", err)
 	os.Exit(1)
+}
+
+// startProfiles starts a CPU profile and/or arranges a heap profile dump,
+// returning a stop function main defers. Both writers are stdlib
+// runtime/pprof — no extra dependencies, matching the repo's
+// no-new-modules rule.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+			f.Close()
+		}
+	}, nil
 }
 
 // record samples the scenario's own links (and the optional fault windows)

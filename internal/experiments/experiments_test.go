@@ -7,10 +7,10 @@ import (
 
 func TestRegistryCompleteAndOrdered(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 25 {
-		t.Fatalf("got %d experiments, want 25: %v", len(ids), ids)
+	if len(ids) != 26 {
+		t.Fatalf("got %d experiments, want 26: %v", len(ids), ids)
 	}
-	if ids[0] != "E1" || ids[24] != "E25" {
+	if ids[0] != "E1" || ids[25] != "E26" {
 		t.Fatalf("bad ordering: %v", ids)
 	}
 	reg := Registry()
@@ -243,6 +243,37 @@ func TestE24SmallShape(t *testing.T) {
 		if strings.Contains(n, "WARNING") {
 			t.Errorf("shape violation: %s", n)
 		}
+	}
+}
+
+// TestE26SmallShape runs a shrunken E26 replan-latency study (the full one
+// replans 100k users), asserting the report shape and that every metric key
+// the bench-replan-smoke guard requires is emitted. Wall-clock speedup is
+// meaningless at this size, so only the fidelity metric is bounded: the
+// delta objective may be at most 1% worse than the full re-solve (it is
+// routinely better — the warm start lands in a better basin than a cold
+// sharded replan, so the gap is one-sided).
+func TestE26SmallShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replan study arms in -short mode")
+	}
+	r, err := e26Replan([]int{96}, 2, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "E26" {
+		t.Errorf("report ID %q", r.ID)
+	}
+	if len(r.Tables[0].Rows) != 1 {
+		t.Errorf("rows = %d, want 1", len(r.Tables[0].Rows))
+	}
+	for _, k := range []string{"users_max", "full_replan_sec", "delta_replan_sec", "replan_speedup", "delta_gap_pct", "delta_ops_frac", "dirty_shards"} {
+		if _, ok := r.Metrics[k]; !ok {
+			t.Errorf("metric %q missing", k)
+		}
+	}
+	if gap := r.Metrics["delta_gap_pct"]; gap > 1 {
+		t.Errorf("delta objective %+.3f%% worse than full, exceeds the 1%% contract", gap)
 	}
 }
 

@@ -93,6 +93,7 @@ func Registry() map[string]Runner {
 		"E23": E23PlannerScale,
 		"E24": E24FrontierStudy,
 		"E25": E25ChaosRecovery,
+		"E26": E26ReplanLatency,
 	}
 }
 
@@ -103,6 +104,7 @@ func QuickVariants() map[string]Runner {
 	return map[string]Runner{
 		"E23": E23QuickPlannerScale,
 		"E24": E24QuickFrontierStudy,
+		"E26": E26QuickReplanLatency,
 	}
 }
 

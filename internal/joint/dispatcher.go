@@ -266,7 +266,7 @@ func (d *Dispatcher) Observe(serverUp []bool, ratesBps []float64) (*Plan, error)
 	}
 	d.plan = &Plan{
 		Decisions:   st.ds,
-		Objective:   objective(d.sc, st.ds),
+		Objective:   st.objectiveNow(),
 		Feasible:    st.feasible,
 		Iterations:  2,
 		PlannerName: d.planner.Name() + suffix,
@@ -291,10 +291,7 @@ func (d *Dispatcher) assignWithHealth(st *state, report *HealthReport) {
 		st.assigned[s] = st.assigned[s][:0]
 	}
 	load := make([]float64, len(sc.Servers))
-	work := func(ui int) float64 {
-		u := &sc.Users[ui]
-		return float64(u.Model.TotalFLOPs()) * math.Max(u.planningRate(), 0.01)
-	}
+	work := func(ui int) float64 { return st.hot.work[ui] }
 	for ui := range sc.Users {
 		prefer := d.base.Decisions[ui].Server
 		cur := d.plan.Decisions[ui].Server

@@ -73,7 +73,8 @@ const reconcileMaxTargets = 2
 // planSharded is the hierarchical planning entry point. opt is the
 // already-defaulted option set (see Planner.opts).
 func (p *Planner) planSharded(sc *Scenario, opt Options) (*Plan, error) {
-	assign, order := initialAssignment(sc)
+	hot := buildUserSoA(sc)
+	assign, order := initialAssignmentSoA(sc, hot)
 
 	// Local-only pre-pass: a user whose surgery optimum stays on-device
 	// even at the most optimistic share (1.0 of its affinity server) never
@@ -149,7 +150,7 @@ func (p *Planner) planSharded(sc *Scenario, opt Options) (*Plan, error) {
 		return nil, planErr
 	}
 
-	st, bestObj := mergeShardPlans(sc, opt, clusters, shardPlans, pin, order)
+	st, bestObj := mergeShardPlans(sc, opt, hot, clusters, shardPlans, pin, order)
 	// The merged state's own ledger restarts at the pin-pass cost; shard
 	// (and later cross-check) work arrives through sub-plan SurgeryOps so
 	// stampCounters doesn't double-count it. subOps tracks that sub-plan
@@ -202,7 +203,7 @@ func (p *Planner) planSharded(sc *Scenario, opt Options) (*Plan, error) {
 		if err := opt.checkAbort(st.spent + subOps); err != nil {
 			return nil, err
 		}
-		moved, touched := st.reconcileStep()
+		moved, touched := st.reconcileStep(nil)
 		if moved == 0 && r == 0 {
 			// Nothing to rebalance: every shard is already at its own fixed
 			// point, so the merge IS the plan (and, on non-contended
@@ -218,7 +219,7 @@ func (p *Planner) planSharded(sc *Scenario, opt Options) (*Plan, error) {
 			return nil, err
 		}
 		st.recomputeFeasible()
-		cur := objective(sc, st.ds)
+		cur := st.objectiveNow()
 		traj = append(traj, cur)
 		rounds++
 		if cur < bestObj {
@@ -392,8 +393,8 @@ func pinLocalUsers(sc *Scenario, opt Options, assign []int) ([]*Decision, error)
 // greedy acceptance order, so the allocation inputs downstream of the merge
 // see exactly the order the monolithic path would have used — a
 // prerequisite for the bit-identity guarantee on non-contended scenarios.
-func mergeShardPlans(sc *Scenario, opt Options, clusters []sim.Cluster, shardPlans []*Plan, pin []*Decision, order []int) (*state, float64) {
-	st := &state{sc: sc, opt: opt, feasible: true}
+func mergeShardPlans(sc *Scenario, opt Options, hot *userSoA, clusters []sim.Cluster, shardPlans []*Plan, pin []*Decision, order []int) (*state, float64) {
+	st := &state{sc: sc, opt: opt, feasible: true, hot: hot}
 	st.ds = make([]Decision, len(sc.Users))
 	st.assigned = make([][]int, len(sc.Servers))
 	st.srvFeasible = make([]bool, len(sc.Servers))
@@ -436,7 +437,7 @@ func mergeShardPlans(sc *Scenario, opt Options, clusters []sim.Cluster, shardPla
 		}
 	}
 	st.recomputeFeasible()
-	return st, objective(sc, st.ds)
+	return st, st.objectiveNow()
 }
 
 // recomputeFeasible rebuilds the global feasibility flag from the
@@ -451,8 +452,7 @@ func (st *state) recomputeFeasible() {
 		if st.ds[ui].Server >= 0 {
 			continue
 		}
-		u := &st.sc.Users[ui]
-		if u.Deadline > 0 && st.ds[ui].Latency() > u.Deadline {
+		if d := st.hot.deadline[ui]; d > 0 && st.ds[ui].Latency() > d {
 			st.feasible = false
 		}
 	}
@@ -496,7 +496,13 @@ func (st *state) polishServers(touched []bool) error {
 // acceptance are all deterministic (pressure order with index tiebreaks,
 // first improvement wins). Returns the accepted move count and the set of
 // servers any accepted move touched.
-func (st *state) reconcileStep() (int, []bool) {
+//
+// scope, when non-nil, restricts the DONOR side to the flagged servers —
+// the delta-replan contract: only shards whose inputs changed (or that a
+// prior accepted move touched) may shed users, while every server remains a
+// legal TARGET, so load can drain out of a drifted shard into any slack in
+// the fleet. nil means every server donates (the full-replan behavior).
+func (st *state) reconcileStep(scope []bool) (int, []bool) {
 	nServers := len(st.sc.Servers)
 	touched := make([]bool, nServers)
 	if nServers < 2 {
@@ -507,7 +513,7 @@ func (st *state) reconcileStep() (int, []bool) {
 		// users in index order, targets in server order, first global
 		// improvement wins — so the differential gap versus the monolithic
 		// planner stays within the pinned bound.
-		return st.reconcileExhaustive(touched)
+		return st.reconcileExhaustive(scope, touched)
 	}
 
 	// Normalized compute demand per server: how much of the server each
@@ -515,7 +521,7 @@ func (st *state) reconcileStep() (int, []bool) {
 	demand := make([]float64, nServers)
 	for s := range st.assigned {
 		for _, ui := range st.assigned[s] {
-			demand[s] += st.ds[ui].Eval.ServerSec * math.Max(st.sc.Users[ui].planningRate(), 0)
+			demand[s] += st.ds[ui].Eval.ServerSec * math.Max(st.hot.rate[ui], 0)
 		}
 	}
 
@@ -526,6 +532,9 @@ func (st *state) reconcileStep() (int, []bool) {
 	// shards go first so they drain while targets still have room.
 	donors := make([]int, 0, nServers)
 	for s := 0; s < nServers; s++ {
+		if scope != nil && !scope[s] {
+			continue
+		}
 		donors = append(donors, s)
 	}
 	sort.SliceStable(donors, func(a, b int) bool {
@@ -553,7 +562,7 @@ func (st *state) reconcileStep() (int, []bool) {
 				if ok {
 					// Keep the demand ledger current so later target picks
 					// see the shifted load.
-					d := st.ds[ui].Eval.ServerSec * math.Max(st.sc.Users[ui].planningRate(), 0)
+					d := st.ds[ui].Eval.ServerSec * math.Max(st.hot.rate[ui], 0)
 					demand[s] -= d
 					demand[to] += d
 					touched[s], touched[to] = true, true
@@ -572,15 +581,16 @@ func (st *state) reconcileStep() (int, []bool) {
 // GLOBAL objective (same relative threshold) wins — evaluated in place with
 // exact rollback instead of on scratch clones. Matching the monolithic
 // scan keeps the differential gap on test-sized scenarios within the
-// pinned bound.
-func (st *state) reconcileExhaustive(touched []bool) (int, []bool) {
+// pinned bound. scope (nil = all) restricts donors exactly as in
+// reconcileStep: a user may only move if its current server is in scope.
+func (st *state) reconcileExhaustive(scope, touched []bool) (int, []bool) {
 	moved := 0
 	for ui := range st.sc.Users {
 		from := st.ds[ui].Server
-		if from < 0 {
+		if from < 0 || (scope != nil && !scope[from]) {
 			continue
 		}
-		base := objective(st.sc, st.ds)
+		base := st.objectiveNow()
 		for to := range st.sc.Servers {
 			if to == from {
 				continue
@@ -631,7 +641,7 @@ func (st *state) nominate(s, topK int) []int {
 	}
 	cand := append([]int(nil), users...)
 	contrib := func(ui int) float64 {
-		return st.sc.Users[ui].weight() * st.ds[ui].Latency()
+		return st.hot.weight[ui] * st.ds[ui].Latency()
 	}
 	sort.SliceStable(cand, func(a, b int) bool { return contrib(cand[a]) > contrib(cand[b]) })
 	return cand[:topK]
@@ -664,26 +674,32 @@ func (st *state) targets(s int, demand []float64) []int {
 // mover's current plan remains valid).
 func (st *state) tryMove(ui, s, to int, accept func(before, after float64) bool) bool {
 	st.spent += 2 // the mover's two surgery refreshes, charged up front
-	savedFrom := append([]int(nil), st.assigned[s]...)
-	savedTo := append([]int(nil), st.assigned[to]...)
+	// Save/restore runs on the state's moveScratch arena: tryMove is only
+	// ever called from the sequential reconciliation scans, so one arena per
+	// state suffices, and a rejected candidate is allocation-free once the
+	// arena has grown to shard size.
+	mv := &st.mv
+	mv.from = append(mv.from[:0], st.assigned[s]...)
+	mv.to = append(mv.to[:0], st.assigned[to]...)
 	savedFeasFrom, savedFeasTo := st.srvFeasible[s], st.srvFeasible[to]
-	touched := make([]int, 0, len(savedFrom)+len(savedTo))
-	touched = append(touched, savedFrom...)
-	touched = append(touched, savedTo...)
-	savedDs := make([]Decision, len(touched))
-	for i, u := range touched {
-		savedDs[i] = st.ds[u]
+	mv.touched = mv.touched[:0]
+	mv.touched = append(mv.touched, mv.from...)
+	mv.touched = append(mv.touched, mv.to...)
+	if cap(mv.ds) < len(mv.touched) {
+		mv.ds = make([]Decision, len(mv.touched))
+	}
+	mv.ds = mv.ds[:len(mv.touched)]
+	for i, u := range mv.touched {
+		mv.ds[i] = st.ds[u]
 	}
 	before := st.twoShardObjective(s, to)
 
 	restore := func() {
-		st.assigned[s] = st.assigned[s][:0]
-		st.assigned[s] = append(st.assigned[s], savedFrom...)
-		st.assigned[to] = st.assigned[to][:0]
-		st.assigned[to] = append(st.assigned[to], savedTo...)
+		st.assigned[s] = append(st.assigned[s][:0], mv.from...)
+		st.assigned[to] = append(st.assigned[to][:0], mv.to...)
 		st.srvFeasible[s], st.srvFeasible[to] = savedFeasFrom, savedFeasTo
-		for i, u := range touched {
-			st.ds[u] = savedDs[i]
+		for i, u := range mv.touched {
+			st.ds[u] = mv.ds[i]
 		}
 	}
 
@@ -712,10 +728,10 @@ func (st *state) tryMove(ui, s, to int, accept func(before, after float64) bool)
 func (st *state) twoShardObjective(a, b int) float64 {
 	var sum float64
 	for _, ui := range st.assigned[a] {
-		sum += st.sc.Users[ui].weight() * st.ds[ui].Latency()
+		sum += st.hot.weight[ui] * st.ds[ui].Latency()
 	}
 	for _, ui := range st.assigned[b] {
-		sum += st.sc.Users[ui].weight() * st.ds[ui].Latency()
+		sum += st.hot.weight[ui] * st.ds[ui].Latency()
 	}
 	return sum
 }

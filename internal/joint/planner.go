@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
 
 	"edgesurgeon/internal/alloc"
 	"edgesurgeon/internal/surgery"
@@ -213,9 +212,9 @@ func (p *Planner) Plan(sc *Scenario) (*Plan, error) {
 	if err := st.surgeryStep(); err != nil {
 		return nil, err
 	}
-	traj := []float64{objective(sc, st.ds)} // surgery at equal shares
+	traj := []float64{st.objectiveNow()} // surgery at equal shares
 	st.allocStep()
-	prev := objective(sc, st.ds)
+	prev := st.objectiveNow()
 	traj = append(traj, prev) // + allocation
 
 	bestObj := prev
@@ -236,7 +235,7 @@ func (p *Planner) Plan(sc *Scenario) (*Plan, error) {
 			return nil, err
 		}
 		st.allocStep()
-		cur := objective(sc, st.ds)
+		cur := st.objectiveNow()
 		traj = append(traj, cur)
 		if cur < bestObj {
 			bestObj = cur
@@ -304,7 +303,7 @@ func PlanWithAssignment(sc *Scenario, opt Options, assign []int) (*Plan, error) 
 		return nil, err
 	}
 	st.allocStep()
-	prev := objective(sc, st.ds)
+	prev := st.objectiveNow()
 	bestObj := prev
 	bestDs := append([]Decision(nil), st.ds...)
 	bestFeasible := st.feasible
@@ -317,7 +316,7 @@ func PlanWithAssignment(sc *Scenario, opt Options, assign []int) (*Plan, error) 
 			return nil, err
 		}
 		st.allocStep()
-		cur := objective(sc, st.ds)
+		cur := st.objectiveNow()
 		if cur < bestObj {
 			bestObj = cur
 			bestDs = append(bestDs[:0], st.ds...)
@@ -360,6 +359,8 @@ type state struct {
 	cache   *surgeryCache  // per-Plan-call surgery memoization (nil if disabled)
 	front   *frontierStats // frontier tables + hit/miss telemetry (nil = legacy path)
 	envBuf  []surgery.Env  // reusable per-user env snapshot for surgeryStep
+	hot     *userSoA       // flat per-user planning scalars (see soa.go)
+	mv      moveScratch    // tryMove's reusable save/restore arena
 
 	// spent is the deterministic work ledger behind SurgeryBudget: every
 	// orchestration step charges the surgery optimizations it schedules
@@ -372,6 +373,7 @@ type state struct {
 
 func newState(sc *Scenario, opt Options) (*state, error) {
 	st := &state{sc: sc, opt: opt, feasible: true}
+	st.hot = buildUserSoA(sc)
 	st.ds = make([]Decision, len(sc.Users))
 	st.assigned = make([][]int, len(sc.Servers))
 	st.srvFeasible = make([]bool, len(sc.Servers))
@@ -396,7 +398,7 @@ func newState(sc *Scenario, opt Options) (*state, error) {
 		}
 		return st, nil
 	}
-	assign, order := initialAssignment(sc)
+	assign, order := initialAssignmentSoA(sc, st.hot)
 	// Replay the acceptance order so each server's list keeps the
 	// historical (descending-work) allocation input order.
 	for _, ui := range order {
@@ -416,19 +418,18 @@ func newState(sc *Scenario, opt Options) (*state, error) {
 // sharded planner uses both as the server-affinity clustering and to merge
 // shard results in an order bit-compatible with the monolithic path.
 func initialAssignment(sc *Scenario) (assign, order []int) {
-	order = make([]int, len(sc.Users))
-	for i := range order {
-		order[i] = i
-	}
-	work := make([]float64, len(sc.Users))
-	for i, u := range sc.Users {
-		work[i] = float64(u.Model.TotalFLOPs()) * math.Max(u.planningRate(), 0.01)
-	}
+	return initialAssignmentSoA(sc, buildUserSoA(sc))
+}
+
+// initialAssignmentSoA is initialAssignment against an already-built SoA
+// view — the form every state constructor uses, so the work array is
+// derived once per planning run rather than once per caller.
+func initialAssignmentSoA(sc *Scenario, hot *userSoA) (assign, order []int) {
 	// Stable sort by descending work: the same permutation the historical
 	// insertion sort produced (both are stable under the same comparator),
 	// in O(n log n) so the 100k-user sharded path doesn't pay a quadratic
 	// setup.
-	sort.SliceStable(order, func(a, b int) bool { return work[order[a]] > work[order[b]] })
+	order = workOrder(hot)
 	assign = make([]int, len(sc.Users))
 	load := make([]float64, len(sc.Servers))
 	for _, ui := range order {
@@ -440,7 +441,7 @@ func initialAssignment(sc *Scenario) (assign, order []int) {
 			}
 		}
 		assign[ui] = best
-		load[best] += work[ui]
+		load[best] += hot.work[ui]
 	}
 	return assign, order
 }
@@ -473,7 +474,7 @@ func (st *state) env(ui int) surgery.Env {
 		Device:     u.Device,
 		Difficulty: u.Difficulty,
 		Curves:     st.sc.Curves,
-		Rate:       u.planningRate(),
+		Rate:       st.hot.rate[ui],
 		TxFactor:   u.TxCompression,
 	}
 	if d.Server >= 0 {
@@ -589,15 +590,14 @@ func (st *state) optimizeUser(ui int, env surgery.Env) error {
 func (st *state) demandsFor(s int) []alloc.Demand {
 	out := make([]alloc.Demand, len(st.assigned[s]))
 	for i, ui := range st.assigned[s] {
-		u := &st.sc.Users[ui]
 		ev := st.ds[ui].Eval
 		out[i] = alloc.Demand{
 			Fixed:    ev.FixedSec,
 			Server:   ev.ServerSec,
 			Tx:       ev.TxSec,
-			Weight:   u.weight(),
-			Deadline: u.Deadline,
-			Rate:     u.planningRate(),
+			Weight:   st.hot.weight[ui],
+			Deadline: st.hot.deadline[ui],
+			Rate:     st.hot.rate[ui],
 		}
 	}
 	return out
@@ -613,8 +613,7 @@ func (st *state) allocStep() {
 		for s := range st.assigned {
 			st.srvFeasible[s] = true
 			for _, ui := range st.assigned[s] {
-				u := &st.sc.Users[ui]
-				if u.Deadline > 0 && st.ds[ui].Latency() > u.Deadline {
+				if d := st.hot.deadline[ui]; d > 0 && st.ds[ui].Latency() > d {
 					st.feasible = false
 					st.srvFeasible[s] = false
 				}
@@ -676,7 +675,7 @@ func (st *state) reassignStep() error {
 		if err := c.refreshUser(ui); err != nil {
 			return candidate{err: err}
 		}
-		return candidate{scratch: c, obj: objective(c.sc, c.ds)}
+		return candidate{scratch: c, obj: c.objectiveNow()}
 	}
 	targets := make([]int, 0, len(st.sc.Servers))
 	for ui := range st.sc.Users {
@@ -684,7 +683,7 @@ func (st *state) reassignStep() error {
 		if from < 0 {
 			continue
 		}
-		base := objective(st.sc, st.ds)
+		base := st.objectiveNow()
 		targets = targets[:0]
 		for to := range st.sc.Servers {
 			if to != from {
@@ -745,6 +744,7 @@ func (st *state) scratchClone() *state {
 		workers:     1,
 		cache:       st.cache,
 		front:       st.front,
+		hot:         st.hot,
 	}
 	for i := range st.assigned {
 		c.assigned[i] = append([]int(nil), st.assigned[i]...)
@@ -785,8 +785,7 @@ func (st *state) allocServer(s int) {
 			st.ds[ui].BandwidthShare = 1 / n
 		}
 		for _, ui := range st.assigned[s] {
-			u := &st.sc.Users[ui]
-			if u.Deadline > 0 && st.ds[ui].Latency() > u.Deadline {
+			if d := st.hot.deadline[ui]; d > 0 && st.ds[ui].Latency() > d {
 				st.srvFeasible[s] = false
 			}
 		}
@@ -832,7 +831,7 @@ func (st *state) shedStep() (int, error) {
 				if !u.Device.FitsModel(u.Model) {
 					continue
 				}
-				if pick < 0 || u.weight() < st.sc.Users[pick].weight() {
+				if pick < 0 || st.hot.weight[ui] < st.hot.weight[pick] {
 					pick = ui
 				}
 			}

@@ -1,0 +1,124 @@
+package joint
+
+import (
+	"math"
+	"sort"
+)
+
+// This file holds the planner's structure-of-arrays view of the user
+// population. The User struct is the configuration surface — readable,
+// codec-friendly, one struct per user — but the planner's hot loops
+// (objective sums, allocation demand assembly, reconciliation pressure
+// accounting) touch only four derived scalars per user, and at 10^5–10^6
+// users chasing them through 15-field structs (with the weight()/
+// planningRate() defaulting branches re-evaluated on every read) dominates
+// the bookkeeping cost and wrecks locality. userSoA resolves those scalars
+// once, into contiguous flat arrays the hot paths index directly. Every
+// array entry is bit-identical to what the corresponding accessor returns,
+// so switching a loop from the struct to the array can never change planner
+// output — the parallelism/differential suites pin that.
+type userSoA struct {
+	// weight is User.weight() resolved (<= 0 defaulted to 1).
+	weight []float64
+	// rate is User.planningRate() resolved (ProvisionRate when positive,
+	// else Rate).
+	rate []float64
+	// deadline is User.Deadline verbatim (0 = none).
+	deadline []float64
+	// work is the initial-assignment load metric:
+	// TotalFLOPs × max(planningRate, 0.01).
+	work []float64
+	// model is the user's model index into models — users sharing a model
+	// instance share an index (the population-class structure the surgery
+	// cache and frontier tables exploit).
+	model []int32
+	// models is the deduplicated model-instance table behind model.
+	models []modelRef
+}
+
+// modelRef is one deduplicated model instance in the SoA table.
+type modelRef struct {
+	flops int64
+}
+
+// buildUserSoA flattens the scenario's per-user planning scalars. One pass,
+// O(n); the result is immutable and safely shared across states (scratch
+// clones, shard sub-states) and goroutines.
+func buildUserSoA(sc *Scenario) *userSoA {
+	n := len(sc.Users)
+	hot := &userSoA{
+		weight:   make([]float64, n),
+		rate:     make([]float64, n),
+		deadline: make([]float64, n),
+		work:     make([]float64, n),
+		model:    make([]int32, n),
+	}
+	index := make(map[interface{}]int32, 8)
+	for i := range sc.Users {
+		u := &sc.Users[i]
+		hot.weight[i] = u.weight()
+		hot.rate[i] = u.planningRate()
+		hot.deadline[i] = u.Deadline
+		mi, ok := index[u.Model]
+		if !ok {
+			mi = int32(len(hot.models))
+			hot.models = append(hot.models, modelRef{flops: u.Model.TotalFLOPs()})
+			index[u.Model] = mi
+		}
+		hot.model[i] = mi
+		hot.work[i] = float64(hot.models[mi].flops) * math.Max(hot.rate[i], 0.01)
+	}
+	return hot
+}
+
+// workOrder returns user indices by descending work, index tiebreak — the
+// greedy initial assignment's acceptance order, which every per-server
+// assignment list replays (newState, mergeShardPlans, newDeltaState) so the
+// allocation inputs are order-identical across all planning routes.
+func workOrder(hot *userSoA) []int {
+	order := make([]int, len(hot.work))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return hot.work[order[a]] > hot.work[order[b]] })
+	return order
+}
+
+// objectiveNow computes the weighted expected-latency sum from the SoA
+// weights — same index order and same factor values as the free objective()
+// function, so the result is bit-identical; only the per-user accessor
+// branches are gone.
+func (st *state) objectiveNow() float64 {
+	var sum float64
+	for i := range st.ds {
+		sum += st.hot.weight[i] * st.ds[i].Latency()
+	}
+	return sum
+}
+
+// shardObjective sums the weighted latency of the users currently assigned
+// to server s — the per-shard slice of the objective a single-shard replan
+// converges on.
+func (st *state) shardObjective(s int) float64 {
+	var sum float64
+	for _, ui := range st.assigned[s] {
+		sum += st.hot.weight[ui] * st.ds[ui].Latency()
+	}
+	return sum
+}
+
+// moveScratch is the reusable buffer set behind tryMove's save/restore: a
+// candidate migration snapshots both touched assignment lists and every
+// touched decision, and at reconciliation scale that used to mean four
+// fresh allocations per evaluated candidate — O(n) garbage per round.
+// Reusing one arena per state makes an evaluated-and-rejected candidate
+// allocation-free at steady state, which is what lets a delta replan's
+// reconciliation allocate O(dirty) instead of O(candidates × shard).
+// tryMove runs only on sequential orchestration code (the reconciliation
+// scans), never concurrently on one state, so a single arena suffices;
+// scratch clones start with their own empty arena.
+type moveScratch struct {
+	from, to []int
+	touched  []int
+	ds       []Decision
+}

@@ -203,6 +203,9 @@ type Plan struct {
 	// planner decomposed the scenario into (local singletons included);
 	// zero when the plan came from the monolithic path.
 	Shards int
+	// DirtyShards is the number of shards a delta replan (PlanDelta)
+	// re-planned; zero for plans produced by any full planning route.
+	DirtyShards int
 	// PlannerName identifies the strategy that produced the plan.
 	PlannerName string
 	// SurgeryCacheHits and SurgeryCacheMisses count how many per-user

@@ -53,6 +53,24 @@ type Policy struct {
 	// stays muted before it is readmitted on probation. Required positive
 	// when QuarantineStrikes > 0.
 	QuarantineProbation float64
+	// DeltaReplan routes qualifying full-replan requests through the
+	// incremental delta planner instead: only the shards whose cumulative
+	// uplink drift (versus the rates they were last planned at) reaches
+	// RelChange are re-planned, warm-started from the published plan, with
+	// reconciliation scoped to the shards migrations actually touch. Delta
+	// replans share the full-replan hysteresis entirely — they pass the
+	// same RelChange/MinInterval/Budget gates, arm the same debounce, burn
+	// the same budget-window slots, and run under the same ReplanDeadline
+	// op budget — so enabling this flag changes replan cost, never replan
+	// cadence. Off by default: every replan is a full re-solve.
+	DeltaReplan bool
+	// DeltaMaxDirtyFrac caps the fraction of servers that may be dirty for
+	// a delta replan to still be worthwhile; drift wider than this falls
+	// back to a full replan (re-planning most shards incrementally costs
+	// about as much as a full solve and forgoes its fresh global
+	// assignment). 0 means the default 0.5; only meaningful with
+	// DeltaReplan.
+	DeltaMaxDirtyFrac float64
 }
 
 // DefaultPlannerOpsPerSec is the ReplanDeadline calibration used when
@@ -72,6 +90,14 @@ func NeverReplan() Policy { return Policy{NeverReplan: true} }
 // 60 s; everything else rides the cheap refresh path.
 func Hysteresis() Policy {
 	return Policy{RelChange: 0.2, MinInterval: 25, Budget: 3, Window: 60}
+}
+
+// deltaDirtyFracLimit resolves the DeltaMaxDirtyFrac default.
+func (p Policy) deltaDirtyFracLimit() float64 {
+	if p.DeltaMaxDirtyFrac > 0 {
+		return p.DeltaMaxDirtyFrac
+	}
+	return 0.5
 }
 
 // Validate rejects non-finite or negative policy parameters.
@@ -111,6 +137,9 @@ func (p Policy) Validate() error {
 	}
 	if p.QuarantineStrikes > 0 && p.QuarantineProbation <= 0 {
 		return fmt.Errorf("serve: policy QuarantineStrikes %d needs a positive QuarantineProbation", p.QuarantineStrikes)
+	}
+	if math.IsNaN(p.DeltaMaxDirtyFrac) || math.IsInf(p.DeltaMaxDirtyFrac, 0) || p.DeltaMaxDirtyFrac < 0 || p.DeltaMaxDirtyFrac > 1 {
+		return fmt.Errorf("serve: policy DeltaMaxDirtyFrac %g is outside [0, 1]", p.DeltaMaxDirtyFrac)
 	}
 	return nil
 }

@@ -42,6 +42,11 @@ const (
 	// EventNoChange is a sample that observed nothing actionable (or any
 	// sample under the never-replan policy).
 	EventNoChange telemetry.EventKind = "no-change"
+	// EventDeltaReplan is an incremental replan under Policy.DeltaReplan:
+	// only the dirty shards (listed in the event's Reason) were re-planned,
+	// warm-started from the published plan. Delta replans arm the same
+	// hysteresis state a full replan does.
+	EventDeltaReplan telemetry.EventKind = "delta-replan"
 	// EventAbortedReplan is a full replan that exceeded the
 	// Policy.ReplanDeadline surgery-op budget and was abandoned; the
 	// previous valid plan stayed published (refreshed through the cheap
@@ -134,8 +139,11 @@ type Runtime struct {
 
 	cSamples, cRejected, cFull, cCheap, cDeferred, cNoChange *telemetry.Counter
 	cAborted, cQDropped, cQuarantined, cQReadmit             *telemetry.Counter
+	cDelta, cDirty                                           *telemetry.Counter
 	gObjective, gFeasible, gClock                            *telemetry.Gauge
+	gDriftSrv                                                []*telemetry.Gauge // per-server cumulative drift vs planRates
 	hDrift                                                   *telemetry.Histogram
+	hDeltaOps                                                *telemetry.Histogram
 }
 
 // sourceState tracks one telemetry source's quarantine standing.
@@ -205,7 +213,7 @@ func New(cfg Config) (*Runtime, error) {
 // Every counter is registered here unconditionally so a runtime that never
 // aborts or quarantines still renders the same metric schema.
 func newShell(cfg Config, planner *joint.Planner, reg *telemetry.Registry) *Runtime {
-	return &Runtime{
+	rt := &Runtime{
 		sc:       cfg.Scenario,
 		planner:  planner,
 		policy:   cfg.Policy,
@@ -225,11 +233,23 @@ func newShell(cfg Config, planner *joint.Planner, reg *telemetry.Registry) *Runt
 		cQDropped:    reg.Counter("serve.quarantine.dropped"),
 		cQuarantined: reg.Counter("serve.quarantine.quarantined"),
 		cQReadmit:    reg.Counter("serve.quarantine.readmitted"),
+		cDelta:       reg.Counter("serve.replans.delta"),
+		cDirty:       reg.Counter("serve.replan.dirty_shards"),
 		gObjective:   reg.Gauge("serve.plan.objective"),
 		gFeasible:    reg.Gauge("serve.plan.feasible"),
 		gClock:       reg.Gauge("serve.clock"),
 		hDrift:       reg.Histogram("serve.uplink_rel_change", 0.05, 0.1, 0.2, 0.4, 0.8),
+		// Delta-replan latency is reported in deterministic surgery ops
+		// (the plan's scheduled-work ledger), never wall time: every value
+		// in the registry must replay byte-identically, and ops are the
+		// same latency proxy the ReplanDeadline budget is denominated in.
+		hDeltaOps: reg.Histogram("serve.replan.delta_latency", 1e2, 1e3, 1e4, 1e5, 1e6),
 	}
+	rt.gDriftSrv = make([]*telemetry.Gauge, len(cfg.Scenario.Servers))
+	for i := range rt.gDriftSrv {
+		rt.gDriftSrv[i] = reg.Gauge(fmt.Sprintf("serve.drift.s%02d", i))
+	}
+	return rt
 }
 
 // Current returns the active plan.
@@ -322,6 +342,7 @@ func (rt *Runtime) Ingest(s telemetry.Sample) (*joint.Plan, error) {
 	}
 	if drifted {
 		rt.hDrift.Observe(maxRel)
+		rt.updateDriftGauges()
 	}
 	healthObserved := s.Health != nil
 	if healthObserved {
@@ -361,7 +382,14 @@ func (rt *Runtime) Ingest(s telemetry.Sample) (*joint.Plan, error) {
 	}
 
 	if wantFull {
-		abort, err := rt.fullReplan(s.Time, maxRel)
+		var abort *joint.AbortedError
+		var err error
+		if dirty, nDirty := rt.dirtyShards(); rt.policy.DeltaReplan && nDirty > 0 &&
+			float64(nDirty) <= rt.policy.deltaDirtyFracLimit()*float64(len(rt.rates)) {
+			abort, err = rt.deltaReplan(s.Time, maxRel, dirty, nDirty)
+		} else {
+			abort, err = rt.fullReplan(s.Time, maxRel)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -529,6 +557,7 @@ func (rt *Runtime) fullReplan(now, maxRel float64) (*joint.AbortedError, error) 
 	}
 	rt.disp = disp
 	copy(rt.planRates, rt.rates)
+	rt.updateDriftGauges()
 	rt.lastFull = now
 	rt.fullTimes = append(rt.fullTimes, now)
 	rt.cFull.Inc()
@@ -547,6 +576,110 @@ func (rt *Runtime) fullReplan(now, maxRel float64) (*joint.AbortedError, error) 
 			return nil, err
 		}
 	}
+	return nil, nil
+}
+
+// updateDriftGauges publishes each server's cumulative relative drift —
+// current last-known rate versus the rate its shard was last planned at.
+// The per-server view is what makes dirty-shard decisions observable: the
+// old single histogram folded the fleet into one max.
+func (rt *Runtime) updateDriftGauges() {
+	for i := range rt.rates {
+		rt.gDriftSrv[i].Set(math.Abs(rt.rates[i]-rt.planRates[i]) / rt.planRates[i])
+	}
+}
+
+// dirtyShards computes the delta-replan dirty mask: every server whose
+// cumulative drift (last-known rate versus its last-planned rate) reaches
+// the policy's RelChange threshold. Cumulative, not per-sample: a shard
+// that crept past the threshold over several sub-threshold observations is
+// just as stale as one that jumped there in a single sample.
+func (rt *Runtime) dirtyShards() ([]bool, int) {
+	dirty := make([]bool, len(rt.rates))
+	n := 0
+	for i := range rt.rates {
+		if math.Abs(rt.rates[i]-rt.planRates[i])/rt.planRates[i] >= rt.policy.RelChange {
+			dirty[i] = true
+			n++
+		}
+	}
+	return dirty, n
+}
+
+// deltaReplan is the incremental counterpart of fullReplan: re-plan only
+// the dirty shards, warm-started from the published plan, under the same
+// deadline budget. On success the result becomes the dispatcher's new
+// active AND base plan (NewDispatcherWithPlan — the same installation shape
+// crash recovery uses), per-server plan rates advance only for the dirty
+// shards (clean shards keep accruing their sub-threshold drift), and the
+// decision is journaled with the dirty-shard set. Unlike fullReplan, NO
+// snapshot is written: a delta plan is defined relative to its predecessor,
+// so the recovery story is the WAL tail — replaying the samples since the
+// last full boundary reproduces the whole delta chain bit for bit, which
+// the kill/recover suite pins.
+func (rt *Runtime) deltaReplan(now, maxRel float64, dirty []bool, nDirty int) (*joint.AbortedError, error) {
+	frozen := rt.frozenScenario(rt.rates)
+	if rt.frontier && rt.planner.Opt.Frontiers != nil {
+		// The dirty servers' drifted rates are new frontier keys; extend the
+		// existing set in place (within its table budget) instead of
+		// rebuilding from scratch — clean shards keep their resolved tables,
+		// so the delta hot path stays on the O(log k) lookup route.
+		added := joint.ExtendFrontierSet(rt.planner.Opt.Frontiers, frozen, rt.planner.Opt, dirty)
+		rt.reg.Counter("serve.frontier.extends").Inc()
+		rt.reg.Counter("serve.frontier.extend_tables").Add(int64(added))
+		rt.reg.Gauge("serve.frontier.tables").Set(float64(rt.planner.Opt.Frontiers.Len()))
+	}
+	prev := rt.disp.Current()
+	rt.planner.Opt.SurgeryBudget = rt.replanBudget()
+	plan, err := rt.planner.PlanDelta(frozen, prev, dirty)
+	rt.planner.Opt.SurgeryBudget = 0
+	if err != nil {
+		var abort *joint.AbortedError
+		if errors.As(err, &abort) {
+			// Same stale-plan fallback as an aborted full replan: the abort
+			// arms the debounce and burns a budget-window slot. The frontier
+			// extension (if any) stays — extra tables never change output.
+			rt.lastAbort = now
+			rt.fullTimes = append(rt.fullTimes, now)
+			rt.cAborted.Inc()
+			return abort, nil
+		}
+		return nil, fmt.Errorf("serve: delta replan at t=%g: %w", now, err)
+	}
+	disp, err := joint.NewDispatcherWithPlan(frozen, rt.planner, plan)
+	if err != nil {
+		return nil, fmt.Errorf("serve: delta replan at t=%g: %w", now, err)
+	}
+	disp.Instrument(rt.reg)
+	anyDown := false
+	up := make([]bool, len(rt.down))
+	for i, dn := range rt.down {
+		up[i] = !dn
+		anyDown = anyDown || dn
+	}
+	if anyDown {
+		if _, err := disp.ObserveHealth(up); err != nil {
+			return nil, fmt.Errorf("serve: delta replan at t=%g: applying health: %w", now, err)
+		}
+	}
+	rt.disp = disp
+	for i, d := range dirty {
+		if d {
+			rt.planRates[i] = rt.rates[i]
+		}
+	}
+	rt.updateDriftGauges()
+	rt.lastFull = now
+	rt.fullTimes = append(rt.fullTimes, now)
+	rt.cDelta.Inc()
+	rt.cDirty.Add(int64(nDirty))
+	rt.hDeltaOps.Observe(float64(plan.SurgeryOps))
+	active := disp.Current()
+	rt.publish(active)
+	rt.journal.Record(telemetry.Event{
+		Time: now, Kind: EventDeltaReplan, Value: active.Objective,
+		Reason: fmt.Sprintf("max uplink drift %.3g >= %.3g; dirty shards %v", maxRel, rt.policy.RelChange, joint.DirtyServers(dirty)),
+	})
 	return nil, nil
 }
 

@@ -578,6 +578,12 @@ func NewFrontierSet(bo BuildOptions) *FrontierSet {
 // Grid returns the set's share grid.
 func (s *FrontierSet) Grid() ShareGrid { return s.grid }
 
+// Budget returns the set's table-count capacity — BuildOptions.MaxTables
+// with the default applied. Len() < Budget() means Build can still add
+// tables; incremental extenders (the delta-replan path) use the headroom to
+// truncate their key lists deterministically before fanning out.
+func (s *FrontierSet) Budget() int { return s.bo.maxTables() }
+
 // Len returns the number of tables held.
 func (s *FrontierSet) Len() int {
 	s.mu.RLock()
