@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race fuzz-smoke bench bench-smoke bench-planner-smoke bench-frontier-smoke bench-replan-smoke serve-smoke chaos-smoke experiments examples cover clean
+.PHONY: all build vet test test-short test-race fuzz-smoke bench bench-smoke bench-planner-smoke bench-frontier-smoke bench-replan-smoke bench-serve-smoke serve-smoke chaos-smoke cluster-smoke experiments examples cover clean
 
 all: build vet test
 
@@ -20,10 +20,13 @@ test-short:
 
 # Race-check the concurrent paths: planner (parallel surgery fan-out,
 # shared memoization cache, candidate-move evaluation), the sharded
-# simulator (component worker pool + differential equivalence tests), and
-# a small E21 scale run through the experiments arm pool.
+# simulator (component worker pool + differential equivalence tests), the
+# networked data plane (wire codec, agent scheduling, dispatcher,
+# subprocess loopback cluster), and a small E21 scale run through the
+# experiments arm pool.
 test-race:
 	$(GO) test -race -timeout 30m ./internal/joint/... ./internal/surgery/... ./internal/sim/... ./internal/telemetry/... ./internal/serve/...
+	$(GO) test -race -timeout 15m ./internal/wire/... ./internal/agent/... ./internal/cluster/...
 	$(GO) test -race -run 'TestE21SmallScaleAgrees' ./internal/experiments
 
 # Short fuzzing pass over the optimizer kernels (~10 s per target): the
@@ -40,6 +43,7 @@ fuzz-smoke:
 	$(GO) test ./internal/config -run '^$$' -fuzz FuzzPlanScenario -fuzztime 10s
 	$(GO) test ./internal/serve -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime 10s
 	$(GO) test ./internal/serve -run '^$$' -fuzz FuzzWALReplay -fuzztime 10s
+	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzWireDecode -fuzztime 10s
 
 # One benchmark per evaluation artifact (E1-E21) plus kernel microbenchmarks.
 bench:
@@ -96,6 +100,22 @@ chaos-smoke:
 		-chaos crash:3 -chaos crash:8 -chaos slow:12:15:0.001 -chaos corrupt:5:nan \
 		-verify-recovery -expect-full-replans 4
 	rm -rf .chaos-smoke-dir
+
+# Data-plane throughput guard for CI: the CI-sized E27 loopback-cluster
+# study (real edgeagent processes over TCP under each replanning policy)
+# writing its honest rps and p50/p99 latencies into BENCH_serve.json, with
+# the metric keys asserted present.
+bench-serve-smoke:
+	$(GO) run ./cmd/experiments -run E27 -quick -bench-json BENCH_serve.json \
+		-require-metrics E27.rps_never,E27.rps_hysteresis,E27.rps_delta,E27.p50_ms_hysteresis,E27.p99_ms_hysteresis,E27.ok_frac_hysteresis,E27.full_replans_hysteresis
+
+# Live data-plane smoke for CI: boot the wire dispatcher plus one real
+# edgeagent process per server on loopback TCP, drive a bounded closed
+# loop, and gate on the success fraction and on the handoff path actually
+# running (crossed > 0).
+cluster-smoke:
+	$(GO) run ./cmd/edgeserved -scenario cmd/edgeserved/testdata/smoke-scenario.json \
+		-listen 127.0.0.1:0 -timescale 0.002 -requests 200 -workers 4 -min-ok-frac 0.95
 
 # Regenerate every table and figure of the reconstructed evaluation.
 experiments:

@@ -18,6 +18,12 @@
 //	    # run was byte-identical to one that never crashed
 //	edgeserved -scenario deploy.json -trace trace.jsonl -snapshot-dir state/ -recover
 //	    # resume a crashed replay from its snapshot + WAL
+//	edgeserved -scenario deploy.json -listen 127.0.0.1:0 -timescale 0.002 \
+//	    -requests 200 -min-ok-frac 0.95
+//	    # live mode: spawn one edgeagent process per server, serve the wire
+//	    # protocol over TCP, drive a bounded closed loop, gate the exit code
+//	edgeserved -scenario deploy.json -listen 127.0.0.1:7443
+//	    # live mode without -requests: serve clients until interrupted
 //
 // The scenario schema is documented in internal/config; the trace format is
 // JSON lines, one telemetry.Sample per line.
@@ -195,6 +201,16 @@ func main() {
 		qStrikes       = flag.Int("quarantine-strikes", -1, "override: consecutive validation failures before a telemetry source is quarantined (0 = off)")
 		qProbation     = flag.Float64("quarantine-probation", -1, "override: virtual seconds a quarantined source stays muted")
 
+		listenAddr  = flag.String("listen", "", "live mode: run the wire dispatcher on this TCP address with one edgeagent process per server")
+		agents      = flag.Int("agents", 0, "live mode: agent process count (0 = one per scenario server)")
+		agentBin    = flag.String("agent-bin", "", "live mode: prebuilt edgeagent binary (empty = go build one)")
+		requests    = flag.Int("requests", 0, "live mode: drive this many closed-loop requests then exit (0 = serve until interrupted)")
+		workers     = flag.Int("workers", 4, "live mode: closed-loop client concurrency")
+		timeScale   = flag.Float64("timescale", 1, "live mode: wall-seconds per model-second for every process")
+		telemPeriod = flag.Float64("telemetry-period", 2, "live mode: agent telemetry period in model-seconds")
+		minOKFrac   = flag.Float64("min-ok-frac", 0, "live mode: exit non-zero unless at least this fraction of driven requests succeed")
+		clusterSeed = flag.Int64("seed", 42, "live mode: partition-crossing sampler seed")
+
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
@@ -222,6 +238,30 @@ func main() {
 	}
 
 	switch {
+	case *listenAddr != "":
+		policy, err := buildPolicy(*policyName, *relChange, *minInterval, *budget, *budgetWindow,
+			*replanDeadline, *qStrikes, *qProbation)
+		if err != nil {
+			fatal(err)
+		}
+		if *deltaReplan {
+			policy.DeltaReplan = true
+		}
+		if *deltaDirtyMax >= 0 {
+			policy.DeltaMaxDirtyFrac = *deltaDirtyMax
+		}
+		if err := policy.Validate(); err != nil {
+			fatal(err)
+		}
+		err = runCluster(sc, data, policy, clusterOpts{
+			listen: *listenAddr, agents: *agents, agentBin: *agentBin,
+			requests: *requests, workers: *workers,
+			timeScale: *timeScale, telemetryPeriod: *telemPeriod,
+			minOKFrac: *minOKFrac, frontier: *frontier, seed: *clusterSeed,
+		})
+		if err != nil {
+			fatal(err)
+		}
 	case *recordPath != "":
 		if err := record(sc, scHorizon, *recordPath, *horizon, *period, faultSpecs.windows); err != nil {
 			fatal(err)
@@ -252,7 +292,7 @@ func main() {
 			fatal(err)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "edgeserved: need -record or -trace")
+		fmt.Fprintln(os.Stderr, "edgeserved: need -record, -trace, or -listen")
 		os.Exit(2)
 	}
 }

@@ -1,0 +1,364 @@
+// Package agent implements both ends of the networked data plane: the
+// edge-server agent process (this file) that executes suffix inference under
+// pushed allocations, and the dispatcher (dispatcher.go) that owns the
+// serve.Runtime control loop and routes client requests.
+//
+// An agent serves exactly one edge server from the shared scenario. It dials
+// the dispatcher, registers with the canonical telemetry.SourceID of its
+// server, and then obeys two message flows:
+//
+//   - Allocation pushes install a per-user service table derived from the
+//     live joint.Plan: for each assigned user the agent re-evaluates the
+//     pushed surgery plan against its own copy of the scenario's cost model
+//     (surgery.Evaluate), yielding the conditional per-request uplink and
+//     server-compute times at the pushed shares. Oversubscribed pushes
+//     (Σ shares > 1) are refused.
+//   - Infer requests carry the device-prefix result handed off at the
+//     partition point; the agent models the activation transfer, enforces
+//     GPU-share scheduling (same-user requests serialize on the user's
+//     share; distinct users hold disjoint shares and run concurrently), and
+//     replies with the per-stage timing the dispatcher folds into the
+//     response's latency decomposition.
+//
+// Time is virtual-on-wall: one model-second costs TimeScale wall-seconds, so
+// CI can run a faithful 60-model-second workload in ~1s of wall clock while
+// reported timings stay in model-seconds.
+package agent
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"edgesurgeon/internal/joint"
+	"edgesurgeon/internal/surgery"
+	"edgesurgeon/internal/telemetry"
+	"edgesurgeon/internal/wire"
+)
+
+// shareSlack tolerates float dust when validating Σ shares ≤ 1.
+const shareSlack = 1e-6
+
+// Config configures one agent process.
+type Config struct {
+	// Scenario is the agent's copy of the deployment scenario; every agent
+	// and the dispatcher must parse the same scenario file so cost-model
+	// evaluations agree bit-for-bit.
+	Scenario *joint.Scenario
+	// Server is the index of the edge server this agent serves.
+	Server int
+	// ID is the agent's registration ID; empty means the canonical
+	// telemetry.SourceID(Server), which keeps quarantine standings, drift
+	// gauges, and wire registrations on one naming scheme.
+	ID string
+	// Dispatcher is the dispatcher's TCP address (host:port).
+	Dispatcher string
+	// TimeScale is wall-seconds per model-second; 0 means 1 (real time).
+	TimeScale float64
+	// TelemetryPeriod is the model-seconds between telemetry samples;
+	// 0 means 2.
+	TelemetryPeriod float64
+	// Logf, when set, receives agent lifecycle logging.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) id() string {
+	if c.ID != "" {
+		return c.ID
+	}
+	return telemetry.SourceID(c.Server)
+}
+
+func (c *Config) timeScale() float64 {
+	if c.TimeScale > 0 {
+		return c.TimeScale
+	}
+	return 1
+}
+
+func (c *Config) telemetryPeriod() float64 {
+	if c.TelemetryPeriod > 0 {
+		return c.TelemetryPeriod
+	}
+	return 2
+}
+
+func (c *Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// userSlot is the installed service table entry for one assigned user.
+type userSlot struct {
+	// condUplinkBits is the conditional (given the task crossed the
+	// partition) per-request activation transfer in bits, already divided
+	// by the user's bandwidth share. Bits are physical — they do not
+	// depend on the dispatcher's possibly-stale rate estimate — so the
+	// transfer is timed against the link's actual rate at send time and
+	// every policy arm experiences the same fading physics.
+	condUplinkBits float64
+	// allocUplinkBps is the pushed rate estimate, kept only as the
+	// transfer-timing fallback if the link model ever reports no rate.
+	allocUplinkBps float64
+	// condServerSec is the conditional per-request compute time in
+	// model-seconds at the pushed compute share.
+	condServerSec float64
+
+	mu sync.Mutex
+	// nextFree is the wall instant this user's GPU share frees up;
+	// same-user requests serialize here.
+	nextFree time.Time
+}
+
+// Agent is a running edge-server agent.
+type Agent struct {
+	cfg   Config
+	conn  *wire.Conn
+	start time.Time
+
+	mu    sync.Mutex
+	epoch uint64
+	slots map[int]*userSlot
+}
+
+// Run dials the dispatcher and serves until the connection drops or ctx is
+// cancelled. It returns nil on a clean shutdown (ctx cancelled), and the
+// transport error otherwise.
+func Run(ctx context.Context, cfg Config) error {
+	sc := cfg.Scenario
+	if sc == nil {
+		return fmt.Errorf("agent: no scenario")
+	}
+	if cfg.Server < 0 || cfg.Server >= len(sc.Servers) {
+		return fmt.Errorf("agent: server index %d out of range (scenario has %d servers)", cfg.Server, len(sc.Servers))
+	}
+	nc, err := net.Dial("tcp", cfg.Dispatcher)
+	if err != nil {
+		return fmt.Errorf("agent: dialing dispatcher: %w", err)
+	}
+	conn, err := wire.NewConn(bufio.NewReader(nc), nc, nc)
+	if err != nil {
+		nc.Close()
+		return fmt.Errorf("agent: handshake: %w", err)
+	}
+	defer conn.Close()
+	if err := conn.Send(&wire.Hello{Role: wire.RoleAgent, ID: cfg.id(), Server: cfg.Server}); err != nil {
+		return err
+	}
+	m, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("agent: awaiting welcome: %w", err)
+	}
+	w, ok := m.(*wire.Welcome)
+	if !ok {
+		return fmt.Errorf("agent: expected Welcome, got %T", m)
+	}
+	if w.Servers != len(sc.Servers) || w.Users != len(sc.Users) {
+		return fmt.Errorf("agent: scenario mismatch: dispatcher has %d servers/%d users, agent has %d/%d",
+			w.Servers, w.Users, len(sc.Servers), len(sc.Users))
+	}
+	cfg.logf("agent %s: registered for server %d at %s", cfg.id(), cfg.Server, cfg.Dispatcher)
+
+	a := &Agent{cfg: cfg, conn: conn, start: time.Now(), slots: map[int]*userSlot{}}
+
+	// Unblock the read loop when ctx is cancelled.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-done:
+		}
+	}()
+	go a.telemetryLoop(ctx)
+
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("agent: connection to dispatcher lost: %w", err)
+		}
+		switch m := m.(type) {
+		case *wire.Allocation:
+			if err := a.install(m); err != nil {
+				cfg.logf("agent %s: refusing allocation epoch %d: %v", cfg.id(), m.Epoch, err)
+				if serr := conn.Send(&wire.ErrorMsg{Text: err.Error()}); serr != nil {
+					return serr
+				}
+				continue
+			}
+			if err := conn.Send(&wire.AllocAck{Epoch: m.Epoch}); err != nil {
+				return err
+			}
+		case *wire.Infer:
+			go a.handleInfer(m)
+		case *wire.Heartbeat:
+			// Liveness probe; telemetry already flows the other way.
+		default:
+			cfg.logf("agent %s: ignoring unexpected %T", cfg.id(), m)
+		}
+	}
+}
+
+// virtualNow is the agent's model-time clock.
+func (a *Agent) virtualNow() float64 {
+	return time.Since(a.start).Seconds() / a.cfg.timeScale()
+}
+
+// scaled converts model-seconds to a wall duration.
+func (a *Agent) scaled(modelSec float64) time.Duration {
+	return time.Duration(modelSec * a.cfg.timeScale() * float64(time.Second))
+}
+
+// install validates an allocation push against the agent's own cost model
+// and swaps in the new service table. Per-user queue state (nextFree)
+// carries over across replans so an allocation push never resets an
+// in-flight backlog.
+func (a *Agent) install(alloc *wire.Allocation) error {
+	sc := a.cfg.Scenario
+	srv := sc.Servers[a.cfg.Server]
+	slots := make(map[int]*userSlot, len(alloc.Entries))
+	var sumCompute, sumBandwidth float64
+	for _, e := range alloc.Entries {
+		if e.User < 0 || e.User >= len(sc.Users) {
+			return fmt.Errorf("agent: allocation names unknown user %d", e.User)
+		}
+		if _, dup := slots[e.User]; dup {
+			return fmt.Errorf("agent: allocation names user %d twice", e.User)
+		}
+		u := &sc.Users[e.User]
+		plan := surgery.Plan{Model: u.Model, Exits: e.Exits, Theta: e.Theta, Partition: e.Partition}
+		rate := u.Rate
+		if u.ProvisionRate > 0 {
+			rate = u.ProvisionRate
+		}
+		env := surgery.Env{
+			Device:         u.Device,
+			Server:         srv.Profile,
+			ComputeShare:   e.ComputeShare,
+			UplinkBps:      alloc.UplinkBps,
+			BandwidthShare: e.BandwidthShare,
+			RTT:            alloc.RTT,
+			Difficulty:     u.Difficulty,
+			Curves:         sc.Curves,
+			Rate:           rate,
+			TxFactor:       u.TxCompression,
+		}
+		ev, err := surgery.Evaluate(plan, env)
+		if err != nil {
+			return fmt.Errorf("agent: evaluating pushed plan for user %d: %w", e.User, err)
+		}
+		sumCompute += e.ComputeShare
+		sumBandwidth += e.BandwidthShare
+		slot := &userSlot{allocUplinkBps: alloc.UplinkBps}
+		if ev.CrossProb > 0 {
+			// TxSec was evaluated at the pushed UplinkBps; multiplying the
+			// rate back out recovers the share-adjusted conditional bits,
+			// which hold however the link fades afterwards.
+			slot.condUplinkBits = ev.TxSec * alloc.UplinkBps / ev.CrossProb / e.BandwidthShare
+			slot.condServerSec = ev.ServerSec / ev.CrossProb / e.ComputeShare
+		}
+		slots[e.User] = slot
+	}
+	if sumCompute > 1+shareSlack {
+		return fmt.Errorf("agent: allocation oversubscribes compute: Σ shares = %g", sumCompute)
+	}
+	if sumBandwidth > 1+shareSlack {
+		return fmt.Errorf("agent: allocation oversubscribes bandwidth: Σ shares = %g", sumBandwidth)
+	}
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if alloc.Epoch < a.epoch {
+		return fmt.Errorf("agent: stale allocation epoch %d (have %d)", alloc.Epoch, a.epoch)
+	}
+	for user, slot := range slots {
+		if old, ok := a.slots[user]; ok {
+			old.mu.Lock()
+			slot.nextFree = old.nextFree
+			old.mu.Unlock()
+		}
+	}
+	a.epoch = alloc.Epoch
+	a.slots = slots
+	return nil
+}
+
+func (a *Agent) slot(user int) *userSlot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.slots[user]
+}
+
+// handleInfer executes one suffix inference: the modeled activation
+// transfer, then the user's GPU share (same-user FIFO; distinct users hold
+// disjoint shares and overlap freely).
+func (a *Agent) handleInfer(m *wire.Infer) {
+	slot := a.slot(m.User)
+	if slot == nil {
+		_ = a.conn.Send(&wire.InferResult{Seq: m.Seq, User: m.User, Status: wire.StatusRejected})
+		return
+	}
+	uplinkSec := 0.0
+	if slot.condUplinkBits > 0 {
+		rate := a.cfg.Scenario.Servers[a.cfg.Server].Link.RateAt(a.virtualNow())
+		if rate <= 0 {
+			rate = slot.allocUplinkBps
+		}
+		uplinkSec = slot.condUplinkBits / rate
+	}
+	time.Sleep(a.scaled(uplinkSec))
+
+	serviceDur := a.scaled(slot.condServerSec)
+	slot.mu.Lock()
+	now := time.Now()
+	start := now
+	if slot.nextFree.After(now) {
+		start = slot.nextFree
+	}
+	finish := start.Add(serviceDur)
+	slot.nextFree = finish
+	slot.mu.Unlock()
+	time.Sleep(time.Until(finish))
+
+	queueSec := start.Sub(now).Seconds() / a.cfg.timeScale()
+	_ = a.conn.Send(&wire.InferResult{
+		Seq:       m.Seq,
+		User:      m.User,
+		Status:    wire.StatusOK,
+		UplinkSec: uplinkSec,
+		QueueSec:  queueSec,
+		ServerSec: slot.condServerSec,
+	})
+}
+
+// telemetryLoop streams link-rate observations back to the dispatcher on the
+// virtual clock; the samples double as liveness heartbeats.
+func (a *Agent) telemetryLoop(ctx context.Context) {
+	link := a.cfg.Scenario.Servers[a.cfg.Server].Link
+	period := a.scaled(a.cfg.telemetryPeriod())
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			t := a.virtualNow()
+			sample := &wire.Telemetry{Time: t, UplinkBps: link.RateAt(t), Healthy: true}
+			if err := a.conn.Send(sample); err != nil {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,361 @@
+package agent
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"edgesurgeon/internal/dnn"
+	"edgesurgeon/internal/hardware"
+	"edgesurgeon/internal/joint"
+	"edgesurgeon/internal/netmodel"
+	"edgesurgeon/internal/serve"
+	"edgesurgeon/internal/telemetry"
+	"edgesurgeon/internal/wire"
+	"edgesurgeon/internal/workload"
+)
+
+// testScenario builds a small two-server scenario with static uplinks.
+func testScenario(t testing.TB, nUsers int, uplinkMbps float64) *joint.Scenario {
+	t.Helper()
+	byName := func(name string) *hardware.Profile {
+		p, err := hardware.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	devices := []*hardware.Profile{byName("rpi4"), byName("phone-soc"), byName("jetson-nano")}
+	models := []*dnn.Model{dnn.ResNet18(), dnn.AlexNet(), dnn.MobileNetV2(), dnn.VGG16()}
+	sc := &joint.Scenario{
+		Servers: []joint.Server{
+			{Name: "edge-gpu", Profile: byName("edge-gpu-t4"),
+				Link: netmodel.NewStatic("wifi-a", netmodel.Mbps(uplinkMbps), 0.004), RTT: 0.004},
+			{Name: "edge-cpu", Profile: byName("edge-cpu-16c"),
+				Link: netmodel.NewStatic("wifi-b", netmodel.Mbps(uplinkMbps*0.6), 0.006), RTT: 0.006},
+		},
+	}
+	for i := 0; i < nUsers; i++ {
+		sc.Users = append(sc.Users, joint.User{
+			Name:       fmt.Sprintf("u%02d", i),
+			Model:      models[i%len(models)],
+			Device:     devices[i%len(devices)],
+			Rate:       2 + float64(i%3),
+			Deadline:   0.3,
+			Difficulty: workload.EasyBiased,
+			Arrivals:   workload.Poisson,
+			Seed:       int64(1000 + i),
+		})
+	}
+	return sc
+}
+
+// testPlane spins up a dispatcher plus one in-process agent per server and
+// waits for the readiness barrier. TimeScale makes model-seconds cheap.
+func testPlane(t *testing.T, sc *joint.Scenario, policy serve.Policy) (*Dispatcher, *serve.Runtime, context.CancelFunc) {
+	t.Helper()
+	rt, err := serve.New(serve.Config{Scenario: sc, Policy: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := StartDispatcher(DispatcherConfig{
+		Scenario: sc, Runtime: rt, TimeScale: 0.001, Seed: 42,
+		InferTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	for s := range sc.Servers {
+		go func() {
+			_ = Run(ctx, Config{
+				Scenario: sc, Server: s, Dispatcher: d.Addr(),
+				TimeScale: 0.001, TelemetryPeriod: 5,
+			})
+		}()
+	}
+	if err := d.WaitAgents(len(sc.Servers), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cancel()
+		d.Close()
+		rt.Close()
+	})
+	return d, rt, cancel
+}
+
+// dialClient opens a client connection to the dispatcher.
+func dialClient(t *testing.T, addr string) *wire.Conn {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := wire.NewConn(bufio.NewReader(nc), nc, nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send(&wire.Hello{Role: wire.RoleClient, ID: "client"}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.(*wire.Welcome); !ok {
+		t.Fatalf("expected Welcome, got %T", m)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func TestDefaultAgentIDIsCanonicalSourceID(t *testing.T) {
+	cfg := Config{Server: 3}
+	if got, want := cfg.id(), telemetry.SourceID(3); got != want {
+		t.Fatalf("default agent ID %q, want canonical source ID %q", got, want)
+	}
+}
+
+// TestEndToEndRequests drives one request per user through the full plane
+// and checks the responses carry the plan's latency decomposition.
+func TestEndToEndRequests(t *testing.T) {
+	sc := testScenario(t, 4, 40)
+	d, _, _ := testPlane(t, sc, serve.Hysteresis())
+	conn := dialClient(t, d.Addr())
+
+	plan := d.rt.Current()
+	const perUser = 4
+	total := perUser * len(sc.Users)
+	go func() {
+		seq := uint64(0)
+		for r := 0; r < perUser; r++ {
+			for u := range sc.Users {
+				seq++
+				if err := conn.Send(&wire.Request{Seq: seq, User: u}); err != nil {
+					t.Errorf("send request: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	crossed := 0
+	for i := 0; i < total; i++ {
+		m, err := conn.Recv()
+		if err != nil {
+			t.Fatalf("recv response %d: %v", i, err)
+		}
+		resp, ok := m.(*wire.Response)
+		if !ok {
+			t.Fatalf("expected Response, got %T", m)
+		}
+		if resp.Status != wire.StatusOK {
+			t.Fatalf("request %d (user %d) failed with status %d", resp.Seq, resp.User, resp.Status)
+		}
+		dec := plan.Decisions[resp.User]
+		if resp.Server >= 0 {
+			crossed++
+			if dec.Eval.CrossProb == 0 {
+				t.Fatalf("user %d crossed but plan says CrossProb 0", resp.User)
+			}
+			if resp.UplinkSec <= 0 || resp.ServerSec <= 0 {
+				t.Fatalf("crossing response missing stage timings: %+v", resp)
+			}
+			want := resp.DeviceSec + resp.UplinkSec + resp.QueueSec + resp.ServerSec
+			if diff := resp.TotalSec - want; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("response total %g does not decompose into stages summing to %g", resp.TotalSec, want)
+			}
+		} else if resp.TotalSec != resp.DeviceSec {
+			t.Fatalf("local response total %g != device %g", resp.TotalSec, resp.DeviceSec)
+		}
+	}
+	// With 40 Mbps uplinks the planner offloads aggressively; a plane where
+	// nothing ever crosses the partition is not exercising the handoff.
+	if crossed == 0 {
+		t.Fatal("no request crossed the partition; handoff path untested")
+	}
+	t.Logf("%d/%d requests crossed to an agent", crossed, total)
+}
+
+// TestSameUserRequestsSerialize pins the GPU-share scheduler: concurrent
+// requests for the same user must queue on that user's share (positive
+// QueueSec on at least one), while the slot math stays conditional-exact.
+func TestSameUserRequestsSerialize(t *testing.T) {
+	sc := testScenario(t, 2, 40)
+	// A private wire pair: the agent under test writes InferResults to one
+	// end, the test reads them from the other.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type acceptRes struct {
+		conn *wire.Conn
+		err  error
+	}
+	ch := make(chan acceptRes, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			ch <- acceptRes{nil, err}
+			return
+		}
+		c, err := wire.NewConn(bufio.NewReader(nc), nc, nc)
+		ch <- acceptRes{c, err}
+	}()
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	agentSide, err := wire.NewConn(bufio.NewReader(nc), nc, nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agentSide.Close()
+	peer := <-ch
+	if peer.err != nil {
+		t.Fatal(peer.err)
+	}
+	defer peer.conn.Close()
+
+	a := &Agent{
+		cfg:   Config{Scenario: sc, Server: 0, TimeScale: 0.02},
+		conn:  agentSide,
+		start: time.Now(),
+		slots: map[int]*userSlot{},
+	}
+	// Full offload (partition 0) has CrossProb 1, so the conditional server
+	// time is deterministic and strictly positive.
+	alloc := &wire.Allocation{
+		Epoch: 1, UplinkBps: netmodel.Mbps(40), RTT: 0.004,
+		Entries: []wire.AllocEntry{{User: 0, Partition: 0, ComputeShare: 0.5, BandwidthShare: 0.5}},
+	}
+	if err := a.install(alloc); err != nil {
+		t.Fatal(err)
+	}
+	if slot := a.slot(0); slot.condServerSec <= 0 {
+		t.Fatalf("full-offload slot has condServerSec %g, want > 0", slot.condServerSec)
+	}
+
+	const n = 4
+	for i := uint64(1); i <= n; i++ {
+		go a.handleInfer(&wire.Infer{Seq: i, User: 0})
+	}
+	queued := 0
+	for i := 0; i < n; i++ {
+		m, err := peer.conn.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, ok := m.(*wire.InferResult)
+		if !ok {
+			t.Fatalf("expected InferResult, got %T", m)
+		}
+		if res.Status != wire.StatusOK {
+			t.Fatalf("infer %d status %d", res.Seq, res.Status)
+		}
+		if res.QueueSec > 0 {
+			queued++
+		}
+	}
+	if queued == 0 {
+		t.Fatal("no concurrent same-user request queued; GPU-share serialization untested")
+	}
+
+	// An oversubscribed push must be refused outright.
+	bad := &wire.Allocation{
+		Epoch: 2, UplinkBps: netmodel.Mbps(40), RTT: 0.004,
+		Entries: []wire.AllocEntry{
+			{User: 0, Partition: 0, ComputeShare: 0.7, BandwidthShare: 0.5},
+			{User: 1, Partition: 0, ComputeShare: 0.7, BandwidthShare: 0.5},
+		},
+	}
+	if err := a.install(bad); err == nil {
+		t.Fatal("oversubscribed allocation (Σ compute 1.4) was accepted")
+	}
+}
+
+// TestAgentDisconnectEvacuates kills one in-process agent mid-run and
+// asserts the disconnect routes through the fault machinery: the joint
+// dispatcher's evacuation fires and later requests still complete.
+func TestAgentDisconnectEvacuates(t *testing.T) {
+	sc := testScenario(t, 4, 40)
+	rt, err := serve.New(serve.Config{Scenario: sc, Policy: serve.Hysteresis()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := StartDispatcher(DispatcherConfig{
+		Scenario: sc, Runtime: rt, TimeScale: 0.001, Seed: 7,
+		InferTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close(); rt.Close() })
+
+	ctxes := make([]context.CancelFunc, len(sc.Servers))
+	for s := range sc.Servers {
+		ctx, cancel := context.WithCancel(context.Background())
+		ctxes[s] = cancel
+		go func() {
+			_ = Run(ctx, Config{
+				Scenario: sc, Server: s, Dispatcher: d.Addr(),
+				TimeScale: 0.001, TelemetryPeriod: 5,
+			})
+		}()
+	}
+	t.Cleanup(func() {
+		for _, cancel := range ctxes {
+			cancel()
+		}
+	})
+	if err := d.WaitAgents(len(sc.Servers), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	conn := dialClient(t, d.Addr())
+
+	drive := func(firstSeq uint64, n int) {
+		t.Helper()
+		go func() {
+			for i := 0; i < n; i++ {
+				if err := conn.Send(&wire.Request{Seq: firstSeq + uint64(i), User: i % len(sc.Users)}); err != nil {
+					return
+				}
+			}
+		}()
+		for i := 0; i < n; i++ {
+			m, err := conn.Recv()
+			if err != nil {
+				t.Fatalf("recv: %v", err)
+			}
+			resp, ok := m.(*wire.Response)
+			if !ok {
+				t.Fatalf("expected Response, got %T", m)
+			}
+			if resp.Status != wire.StatusOK {
+				t.Fatalf("request %d failed after evacuation window (status %d)", resp.Seq, resp.Status)
+			}
+		}
+	}
+	drive(1, 8)
+
+	// Kill the agent serving server 0 and wait for the control plane to
+	// register the disconnect.
+	ctxes[0]()
+	deadline := time.Now().Add(10 * time.Second)
+	for rt.Metrics().Counter("dispatcher.evacuated").Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("evacuation never fired after agent disconnect")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Requests must keep completing against the evacuated plan.
+	drive(1000, 8)
+	if got := rt.Metrics().Counter("dataplane.requests_ok").Value(); got < 16 {
+		t.Fatalf("only %d requests completed OK, want >= 16", got)
+	}
+}

@@ -1,0 +1,774 @@
+package agent
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"net"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"edgesurgeon/internal/joint"
+	"edgesurgeon/internal/netmodel"
+	"edgesurgeon/internal/serve"
+	"edgesurgeon/internal/telemetry"
+	"edgesurgeon/internal/wire"
+)
+
+// payloadCap bounds the stand-in activation blob shipped per crossing
+// request; real activations at common partition points are far larger, but
+// the loopback plane only needs enough bytes to exercise framing.
+const payloadCap = 1 << 16
+
+// DispatcherConfig configures the wire-facing dispatcher.
+type DispatcherConfig struct {
+	// Scenario is the deployment; must be the same scenario the agents
+	// parsed so cost evaluations agree.
+	Scenario *joint.Scenario
+	// Runtime is the serve control plane the dispatcher feeds telemetry to
+	// and takes plans from. The caller owns it (and its Close).
+	Runtime *serve.Runtime
+	// Listen is the TCP address to bind; empty means "127.0.0.1:0".
+	Listen string
+	// TimeScale is wall-seconds per model-second; 0 means 1.
+	TimeScale float64
+	// Seed fixes the partition-crossing sampler.
+	Seed int64
+	// InferTimeout bounds one remote suffix execution in wall time;
+	// 0 means 30s.
+	InferTimeout time.Duration
+	// Logf, when set, receives dispatcher lifecycle logging.
+	Logf func(format string, args ...any)
+}
+
+func (c *DispatcherConfig) timeScale() float64 {
+	if c.TimeScale > 0 {
+		return c.TimeScale
+	}
+	return 1
+}
+
+func (c *DispatcherConfig) inferTimeout() time.Duration {
+	if c.InferTimeout > 0 {
+		return c.InferTimeout
+	}
+	return 30 * time.Second
+}
+
+func (c *DispatcherConfig) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// agentConn is one registered edge-server agent.
+type agentConn struct {
+	conn   *wire.Conn
+	id     string
+	server int
+
+	mu      sync.Mutex
+	pending map[uint64]chan *wire.InferResult
+	acked   bool // has acknowledged at least one allocation push
+}
+
+// failPending aborts every in-flight Infer on this agent.
+func (ac *agentConn) failPending() {
+	ac.mu.Lock()
+	pending := ac.pending
+	ac.pending = map[uint64]chan *wire.InferResult{}
+	ac.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+// Dispatcher is the wire-facing control/data plane head: it accepts agent
+// registrations and client requests on one TCP listener, feeds agent
+// telemetry into the serve.Runtime (whose policy decides between full
+// replan, delta replan, and the dispatcher's cheap evacuation path), pushes
+// every resulting plan change to the affected agents as Allocation frames,
+// and executes client requests against the live plan — device prefix
+// simulated locally, suffix handed off to the assigned agent at the
+// partition point.
+type Dispatcher struct {
+	cfg   DispatcherConfig
+	rt    *serve.Runtime
+	ln    net.Listener
+	start time.Time
+	seq   atomic.Uint64 // internal Infer sequence space
+
+	plan atomic.Pointer[joint.Plan] // current published plan, for request routing
+
+	// ingestMu serializes telemetry ingestion and the plan-push that
+	// follows it, keeping sample times monotone and allocation epochs
+	// ordered.
+	ingestMu  sync.Mutex
+	clock     float64
+	epoch     uint64
+	lastPlan  *joint.Plan
+	lastRates []float64 // last telemetry uplink per server (0 = none yet)
+	meanRates []float64 // scenario planning-time rates, the fallback
+	up        []bool    // connectivity-derived health, as last ingested
+
+	mu      sync.Mutex
+	agents  map[int]*agentConn
+	clients map[*wire.Conn]struct{} // open client conns, closed on Close
+	ever    []bool                  // has server s ever had an agent (guarded by mu)
+	ready   *sync.Cond              // broadcast when an agent acks its first allocation
+	closed  bool
+
+	// telemCh decouples telemetry ingestion (which may run a replan) from
+	// the per-agent read loops, so a slow control-plane round never delays
+	// InferResult delivery. Telemetry is lossy by nature: when the inbox
+	// is full the sample is dropped and counted.
+	telemCh chan telemItem
+	done    chan struct{}
+
+	wg sync.WaitGroup
+
+	cRequests, cOK, cFailed, cRetries, cPushes *telemetry.Counter
+	cTelemDropped, cTelemCoalesced             *telemetry.Counter
+	gAgents                                    *telemetry.Gauge
+}
+
+// telemItem is one queued agent observation awaiting ingestion.
+type telemItem struct {
+	ac *agentConn
+	m  *wire.Telemetry
+}
+
+// StartDispatcher binds the listener and begins accepting agents and
+// clients. The initial plan is whatever the runtime currently publishes.
+func StartDispatcher(cfg DispatcherConfig) (*Dispatcher, error) {
+	if cfg.Scenario == nil || cfg.Runtime == nil {
+		return nil, fmt.Errorf("agent: dispatcher needs a scenario and a runtime")
+	}
+	addr := cfg.Listen
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("agent: dispatcher listen: %w", err)
+	}
+	sc := cfg.Scenario
+	horizon := sc.PlanningHorizon
+	if horizon <= 0 {
+		horizon = 60
+	}
+	reg := cfg.Runtime.Metrics()
+	d := &Dispatcher{
+		cfg:             cfg,
+		rt:              cfg.Runtime,
+		ln:              ln,
+		start:           time.Now(),
+		lastRates:       make([]float64, len(sc.Servers)),
+		meanRates:       make([]float64, len(sc.Servers)),
+		up:              make([]bool, len(sc.Servers)),
+		ever:            make([]bool, len(sc.Servers)),
+		agents:          map[int]*agentConn{},
+		clients:         map[*wire.Conn]struct{}{},
+		telemCh:         make(chan telemItem, 256),
+		done:            make(chan struct{}),
+		cRequests:       reg.Counter("dataplane.requests"),
+		cOK:             reg.Counter("dataplane.requests_ok"),
+		cFailed:         reg.Counter("dataplane.requests_failed"),
+		cRetries:        reg.Counter("dataplane.request_retries"),
+		cPushes:         reg.Counter("dataplane.alloc_pushes"),
+		cTelemDropped:   reg.Counter("dataplane.telemetry_dropped"),
+		cTelemCoalesced: reg.Counter("dataplane.telemetry_coalesced"),
+		gAgents:         reg.Gauge("dataplane.agents_connected"),
+	}
+	d.ready = sync.NewCond(&d.mu)
+	for s := range sc.Servers {
+		d.meanRates[s] = netmodel.MeanRate(sc.Servers[s].Link, horizon)
+		d.up[s] = true // servers start optimistically up, like the runtime
+	}
+	initial := cfg.Runtime.Current()
+	d.lastPlan = initial
+	d.plan.Store(initial)
+	d.wg.Add(2)
+	go d.acceptLoop()
+	go d.ingestLoop()
+	return d, nil
+}
+
+// ingestLoop is the single consumer of queued telemetry.
+func (d *Dispatcher) ingestLoop() {
+	defer d.wg.Done()
+	for {
+		select {
+		case <-d.done:
+			return
+		case item := <-d.telemCh:
+			d.onTelemetry(item.ac, item.m)
+		}
+	}
+}
+
+// Addr returns the bound listen address agents and clients should dial.
+func (d *Dispatcher) Addr() string { return d.ln.Addr().String() }
+
+// Close stops accepting, disconnects every peer, and waits for the
+// connection handlers to drain. It does not close the serve.Runtime.
+func (d *Dispatcher) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	agents := make([]*agentConn, 0, len(d.agents))
+	for _, ac := range d.agents {
+		agents = append(agents, ac)
+	}
+	clients := make([]*wire.Conn, 0, len(d.clients))
+	for conn := range d.clients {
+		clients = append(clients, conn)
+	}
+	d.ready.Broadcast()
+	d.mu.Unlock()
+	close(d.done)
+	err := d.ln.Close()
+	for _, ac := range agents {
+		ac.conn.Close()
+	}
+	// Client conns must be force-closed too: their handler goroutines are
+	// wg-joined, and a client idling in its own Recv would otherwise pin
+	// Close until the client felt like leaving.
+	for _, conn := range clients {
+		conn.Close()
+	}
+	d.wg.Wait()
+	return err
+}
+
+// WaitAgents blocks until n agents have acknowledged an allocation push (the
+// readiness barrier cluster startup uses) or the timeout expires.
+func (d *Dispatcher) WaitAgents(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		d.mu.Lock()
+		d.ready.Broadcast()
+		d.mu.Unlock()
+	})
+	defer timer.Stop()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		ready := 0
+		for _, ac := range d.agents {
+			ac.mu.Lock()
+			if ac.acked {
+				ready++
+			}
+			ac.mu.Unlock()
+		}
+		if ready >= n {
+			return nil
+		}
+		if d.closed {
+			return fmt.Errorf("agent: dispatcher closed while waiting for agents")
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("agent: %d/%d agents ready after %v", ready, n, timeout)
+		}
+		d.ready.Wait()
+	}
+}
+
+// virtualNow is the dispatcher's model-time clock.
+func (d *Dispatcher) virtualNow() float64 {
+	return time.Since(d.start).Seconds() / d.cfg.timeScale()
+}
+
+func (d *Dispatcher) acceptLoop() {
+	defer d.wg.Done()
+	for {
+		nc, err := d.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		d.wg.Add(1)
+		go d.handleConn(nc)
+	}
+}
+
+// handleConn performs the handshake and dispatches on the peer's role.
+func (d *Dispatcher) handleConn(nc net.Conn) {
+	defer d.wg.Done()
+	conn, err := wire.NewConn(bufio.NewReader(nc), nc, nc)
+	if err != nil {
+		d.cfg.logf("dispatcher: rejecting peer %s: %v", nc.RemoteAddr(), err)
+		nc.Close()
+		return
+	}
+	m, err := conn.Recv()
+	if err != nil {
+		conn.Close()
+		return
+	}
+	hello, ok := m.(*wire.Hello)
+	if !ok {
+		_ = conn.Send(&wire.ErrorMsg{Text: fmt.Sprintf("expected Hello, got %T", m)})
+		conn.Close()
+		return
+	}
+	sc := d.cfg.Scenario
+	welcome := &wire.Welcome{Servers: len(sc.Servers), Users: len(sc.Users), ID: hello.ID}
+	switch hello.Role {
+	case wire.RoleAgent:
+		if hello.Server < 0 || hello.Server >= len(sc.Servers) {
+			_ = conn.Send(&wire.ErrorMsg{Text: fmt.Sprintf("server index %d out of range", hello.Server)})
+			conn.Close()
+			return
+		}
+		if err := conn.Send(welcome); err != nil {
+			conn.Close()
+			return
+		}
+		d.serveAgent(&agentConn{
+			conn: conn, id: hello.ID, server: hello.Server,
+			pending: map[uint64]chan *wire.InferResult{},
+		})
+	case wire.RoleClient:
+		if err := conn.Send(welcome); err != nil {
+			conn.Close()
+			return
+		}
+		d.serveClient(conn)
+	default:
+		conn.Close()
+	}
+}
+
+// serveAgent registers the agent, pushes it the current allocation, and
+// pumps its message stream until the connection drops.
+func (d *Dispatcher) serveAgent(ac *agentConn) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		ac.conn.Close()
+		return
+	}
+	if old := d.agents[ac.server]; old != nil {
+		old.conn.Close() // a reconnecting agent replaces its predecessor
+	}
+	d.agents[ac.server] = ac
+	n := len(d.agents)
+	d.mu.Unlock()
+	d.gAgents.Set(float64(n))
+	d.cfg.logf("dispatcher: agent %s registered for server %d", ac.id, ac.server)
+
+	// Tell the control plane the server is (back) up, then hand the agent
+	// its slice of the live plan.
+	d.observeConnectivity(ac.id)
+	d.pushTo(ac, d.plan.Load())
+
+	for {
+		m, err := ac.conn.Recv()
+		if err != nil {
+			break
+		}
+		switch m := m.(type) {
+		case *wire.Telemetry:
+			select {
+			case d.telemCh <- telemItem{ac, m}:
+			default:
+				d.cTelemDropped.Inc()
+			}
+		case *wire.AllocAck:
+			ac.mu.Lock()
+			first := !ac.acked
+			ac.acked = true
+			ac.mu.Unlock()
+			if first {
+				d.mu.Lock()
+				d.ready.Broadcast()
+				d.mu.Unlock()
+			}
+		case *wire.InferResult:
+			ac.mu.Lock()
+			ch := ac.pending[m.Seq]
+			delete(ac.pending, m.Seq)
+			ac.mu.Unlock()
+			if ch != nil {
+				ch <- m
+				close(ch)
+			}
+		case *wire.Heartbeat:
+		case *wire.ErrorMsg:
+			d.cfg.logf("dispatcher: agent %s error: %s", ac.id, m.Text)
+		default:
+			d.cfg.logf("dispatcher: agent %s sent unexpected %T", ac.id, m)
+		}
+	}
+	d.onAgentDown(ac)
+}
+
+// onAgentDown deregisters a lost agent, aborts its in-flight work, and
+// routes the disconnect through the fault machinery: a health sample whose
+// cheap-refresh path runs the dispatcher's evacuation/fallback.
+func (d *Dispatcher) onAgentDown(ac *agentConn) {
+	ac.conn.Close()
+	ac.failPending()
+	d.mu.Lock()
+	replaced := d.agents[ac.server] != ac
+	if !replaced {
+		delete(d.agents, ac.server)
+	}
+	n := len(d.agents)
+	closed := d.closed
+	d.mu.Unlock()
+	d.gAgents.Set(float64(n))
+	if replaced || closed {
+		return
+	}
+	d.cfg.logf("dispatcher: agent %s (server %d) disconnected", ac.id, ac.server)
+	d.observeConnectivity(ac.id)
+}
+
+// observeConnectivity folds the current agent-connectivity view into the
+// control plane as a health sample, whenever it differs from what was last
+// ingested. Servers with no agent yet (cluster startup) stay optimistically
+// up until their first agent appears and then vanishes.
+func (d *Dispatcher) observeConnectivity(source string) {
+	d.ingestMu.Lock()
+	defer d.ingestMu.Unlock()
+	health := make([]bool, len(d.up))
+	d.mu.Lock()
+	for s := range health {
+		_, connected := d.agents[s]
+		if connected {
+			d.ever[s] = true
+		}
+		health[s] = connected || !d.ever[s]
+	}
+	d.mu.Unlock()
+	changed := false
+	for s, up := range health {
+		if d.up[s] != up {
+			changed = true
+		}
+	}
+	if !changed {
+		return
+	}
+	copy(d.up, health)
+	d.ingestLocked(telemetry.Sample{Health: health, Source: source})
+}
+
+// onTelemetry folds one agent's link observation into the runtime. Samples
+// whose rate matches the last ingested observation are coalesced away: an
+// unchanged rate carries no new information for the planner, and on small
+// machines running every no-op sample through the control plane's refresh
+// path would steal the CPU the data plane needs (the agent's transfer
+// physics never depend on ingestion — see userSlot.condUplinkBits).
+func (d *Dispatcher) onTelemetry(ac *agentConn, m *wire.Telemetry) {
+	d.ingestMu.Lock()
+	defer d.ingestMu.Unlock()
+	if last := d.lastRates[ac.server]; m.UplinkBps > 0 && last > 0 &&
+		math.Abs(m.UplinkBps-last)/last < 0.01 {
+		d.cTelemCoalesced.Inc()
+		return
+	}
+	uplinks := make([]float64, len(d.lastRates))
+	uplinks[ac.server] = m.UplinkBps
+	if m.UplinkBps > 0 {
+		d.lastRates[ac.server] = m.UplinkBps
+	}
+	d.ingestLocked(telemetry.Sample{Uplinks: uplinks, Source: ac.id})
+}
+
+// ingestLocked stamps the sample with the dispatcher's monotone virtual
+// clock, runs it through the serve runtime, and pushes allocations if the
+// published plan changed. Caller holds ingestMu.
+func (d *Dispatcher) ingestLocked(s telemetry.Sample) {
+	t := d.virtualNow()
+	if t < d.clock {
+		t = d.clock
+	}
+	s.Time = t
+	plan, err := d.rt.Ingest(s)
+	if err != nil {
+		d.cfg.logf("dispatcher: sample from %s rejected: %v", s.Source, err)
+		return
+	}
+	d.clock = t
+	if plan != d.lastPlan {
+		// The runtime returns a fresh plan pointer on every cheap refresh,
+		// but an agent's installed physics (conditional bits, conditional
+		// compute) depend only on the decisions — the pushed rate estimate
+		// cancels out of the bit count. Re-pushing identical decisions
+		// would just burn agent CPU on surgery re-evaluation, so only
+		// decision changes go on the wire.
+		changed := d.lastPlan == nil || !reflect.DeepEqual(plan.Decisions, d.lastPlan.Decisions)
+		d.lastPlan = plan
+		d.plan.Store(plan)
+		if changed {
+			d.pushAllocationsLocked(plan)
+		}
+	}
+}
+
+// pushAllocationsLocked sends every connected agent its slice of the plan.
+// Caller holds ingestMu (epoch ordering).
+func (d *Dispatcher) pushAllocationsLocked(plan *joint.Plan) {
+	d.epoch++
+	sc := d.cfg.Scenario
+	entries := make(map[int][]wire.AllocEntry)
+	for ui := range plan.Decisions {
+		dec := &plan.Decisions[ui]
+		if dec.Server < 0 || dec.ComputeShare <= 0 {
+			continue
+		}
+		entries[dec.Server] = append(entries[dec.Server], wire.AllocEntry{
+			User:           ui,
+			Partition:      dec.Plan.Partition,
+			Theta:          dec.Plan.Theta,
+			Exits:          dec.Plan.Exits,
+			ComputeShare:   dec.ComputeShare,
+			BandwidthShare: dec.BandwidthShare,
+		})
+	}
+	d.mu.Lock()
+	agents := make([]*agentConn, 0, len(d.agents))
+	for _, ac := range d.agents {
+		agents = append(agents, ac)
+	}
+	d.mu.Unlock()
+	for _, ac := range agents {
+		alloc := &wire.Allocation{
+			Epoch:     d.epoch,
+			UplinkBps: d.rateForLocked(ac.server),
+			RTT:       sc.Servers[ac.server].RTT,
+			Entries:   entries[ac.server],
+		}
+		if err := ac.conn.Send(alloc); err != nil {
+			d.cfg.logf("dispatcher: pushing allocation to %s: %v", ac.id, err)
+			continue
+		}
+		d.cPushes.Inc()
+	}
+}
+
+// pushTo sends one agent its current allocation slice (registration path).
+func (d *Dispatcher) pushTo(ac *agentConn, plan *joint.Plan) {
+	d.ingestMu.Lock()
+	defer d.ingestMu.Unlock()
+	d.epoch++
+	sc := d.cfg.Scenario
+	var entries []wire.AllocEntry
+	for ui := range plan.Decisions {
+		dec := &plan.Decisions[ui]
+		if dec.Server != ac.server || dec.ComputeShare <= 0 {
+			continue
+		}
+		entries = append(entries, wire.AllocEntry{
+			User:           ui,
+			Partition:      dec.Plan.Partition,
+			Theta:          dec.Plan.Theta,
+			Exits:          dec.Plan.Exits,
+			ComputeShare:   dec.ComputeShare,
+			BandwidthShare: dec.BandwidthShare,
+		})
+	}
+	alloc := &wire.Allocation{
+		Epoch:     d.epoch,
+		UplinkBps: d.rateForLocked(ac.server),
+		RTT:       sc.Servers[ac.server].RTT,
+		Entries:   entries,
+	}
+	if err := ac.conn.Send(alloc); err != nil {
+		d.cfg.logf("dispatcher: pushing allocation to %s: %v", ac.id, err)
+		return
+	}
+	d.cPushes.Inc()
+}
+
+// rateForLocked is the uplink capacity an allocation push quotes to an
+// agent: the last telemetry observation, or the scenario's planning-time
+// mean before any telemetry has arrived. Caller holds ingestMu.
+func (d *Dispatcher) rateForLocked(server int) float64 {
+	if r := d.lastRates[server]; r > 0 {
+		return r
+	}
+	return d.meanRates[server]
+}
+
+// serveClient pumps one client connection: each Request is executed
+// concurrently against the live plan.
+func (d *Dispatcher) serveClient(conn *wire.Conn) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		conn.Close()
+		return
+	}
+	d.clients[conn] = struct{}{}
+	d.mu.Unlock()
+	defer func() {
+		d.mu.Lock()
+		delete(d.clients, conn)
+		d.mu.Unlock()
+	}()
+	var wg sync.WaitGroup
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			break
+		}
+		req, ok := m.(*wire.Request)
+		if !ok {
+			d.cfg.logf("dispatcher: client sent unexpected %T", m)
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := d.execute(req)
+			if err := conn.Send(resp); err != nil {
+				d.cfg.logf("dispatcher: sending response %d: %v", resp.Seq, err)
+			}
+		}()
+	}
+	wg.Wait()
+	conn.Close()
+}
+
+// execute runs one end-to-end request against the live plan: the simulated
+// device prefix, a Bernoulli(CrossProb) draw for whether this task crosses
+// the partition, and — when it crosses — the suffix handoff to the assigned
+// agent. The sampled stage times are conditional expectations at the plan's
+// shares, so the mean observed latency equals the plan's expected latency
+// exactly.
+func (d *Dispatcher) execute(req *wire.Request) *wire.Response {
+	d.cRequests.Inc()
+	sc := d.cfg.Scenario
+	if req.User < 0 || req.User >= len(sc.Users) {
+		d.cFailed.Inc()
+		return &wire.Response{Seq: req.Seq, User: req.User, Status: wire.StatusRejected, Server: -1}
+	}
+	plan := d.plan.Load()
+	dec := &plan.Decisions[req.User]
+
+	// Device prefix (simulated on the device's clock).
+	deviceSec := dec.Eval.DeviceSec
+	time.Sleep(time.Duration(deviceSec * d.cfg.timeScale() * float64(time.Second)))
+
+	resp := &wire.Response{Seq: req.Seq, User: req.User, Status: wire.StatusOK, Server: -1, DeviceSec: deviceSec}
+	cross := dec.Server >= 0 && dec.Eval.CrossProb > 0 &&
+		crossDraw(d.cfg.Seed, req.User, req.Seq) < dec.Eval.CrossProb
+	if !cross {
+		resp.TotalSec = deviceSec
+		d.cOK.Inc()
+		return resp
+	}
+
+	res, server, err := d.remoteSuffix(dec, req)
+	if err != nil {
+		// The plan may have shifted under us (evacuation); retry once
+		// against the refreshed decision before giving up.
+		d.cRetries.Inc()
+		fresh := d.plan.Load()
+		dec = &fresh.Decisions[req.User]
+		if dec.Server < 0 || dec.Eval.CrossProb <= 0 {
+			// Evacuated to device-only: the task completes locally.
+			resp.TotalSec = deviceSec
+			d.cOK.Inc()
+			return resp
+		}
+		res, server, err = d.remoteSuffix(dec, req)
+	}
+	if err != nil {
+		d.cfg.logf("dispatcher: request %d (user %d): %v", req.Seq, req.User, err)
+		d.cFailed.Inc()
+		return &wire.Response{Seq: req.Seq, User: req.User, Status: wire.StatusFailed, Server: dec.Server, DeviceSec: deviceSec}
+	}
+	resp.Server = server
+	resp.UplinkSec = sc.Servers[server].RTT + res.UplinkSec
+	resp.QueueSec = res.QueueSec
+	resp.ServerSec = res.ServerSec
+	resp.TotalSec = deviceSec + resp.UplinkSec + resp.QueueSec + resp.ServerSec
+	d.cOK.Inc()
+	return resp
+}
+
+// remoteSuffix hands the device-prefix result off to the decision's agent
+// and awaits the per-stage timings.
+func (d *Dispatcher) remoteSuffix(dec *joint.Decision, req *wire.Request) (*wire.InferResult, int, error) {
+	server := dec.Server
+	d.mu.Lock()
+	ac := d.agents[server]
+	d.mu.Unlock()
+	if ac == nil {
+		return nil, server, fmt.Errorf("no agent connected for server %d", server)
+	}
+	seq := d.seq.Add(1)
+	ch := make(chan *wire.InferResult, 1)
+	ac.mu.Lock()
+	ac.pending[seq] = ch
+	ac.mu.Unlock()
+	infer := &wire.Infer{
+		Seq:       seq,
+		User:      req.User,
+		DeviceSec: dec.Eval.DeviceSec,
+		Payload:   activationPayload(dec),
+	}
+	if err := ac.conn.Send(infer); err != nil {
+		ac.mu.Lock()
+		delete(ac.pending, seq)
+		ac.mu.Unlock()
+		return nil, server, fmt.Errorf("sending to agent %s: %w", ac.id, err)
+	}
+	timer := time.NewTimer(d.cfg.inferTimeout())
+	defer timer.Stop()
+	select {
+	case res, ok := <-ch:
+		if !ok {
+			return nil, server, fmt.Errorf("agent %s disconnected mid-request", ac.id)
+		}
+		if res.Status != wire.StatusOK {
+			return nil, server, fmt.Errorf("agent %s returned status %d", ac.id, res.Status)
+		}
+		return res, server, nil
+	case <-timer.C:
+		ac.mu.Lock()
+		delete(ac.pending, seq)
+		ac.mu.Unlock()
+		return nil, server, fmt.Errorf("agent %s timed out after %v", ac.id, d.cfg.inferTimeout())
+	}
+}
+
+// activationPayload builds the stand-in device-prefix blob: sized like the
+// (compressed) activation crossing the partition, capped for the loopback
+// plane.
+func activationPayload(dec *joint.Decision) []byte {
+	m := dec.Plan.Model
+	if m == nil || dec.Plan.Partition >= m.NumUnits() {
+		return nil
+	}
+	n := int(m.CutBytes(dec.Plan.Partition))
+	if n > payloadCap {
+		n = payloadCap
+	}
+	if n <= 0 {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// crossDraw is the deterministic partition-crossing sampler: a splitmix64
+// hash of (seed, user, seq) mapped to [0, 1).
+func crossDraw(seed int64, user int, seq uint64) float64 {
+	x := uint64(seed) ^ (uint64(user)+1)*0x9e3779b97f4a7c15 ^ (seq+1)*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

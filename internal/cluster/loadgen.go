@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"edgesurgeon/internal/wire"
+)
+
+// DriveConfig describes one closed-loop load run against a cluster.
+type DriveConfig struct {
+	// Requests is the total request count across all workers.
+	Requests int
+	// Workers is the closed-loop client concurrency (each worker owns one
+	// connection and keeps exactly one request in flight); 0 means 4.
+	Workers int
+	// Users restricts the request mix to the first N scenario users;
+	// 0 means all.
+	Users int
+}
+
+// Result is the honest wall-clock outcome of one load run. Latencies are
+// wall seconds (what a client actually waited), not model seconds — divide
+// by the cluster's TimeScale to compare against plan latencies.
+type Result struct {
+	Sent, OK, Failed int
+	// Elapsed is the wall time from first send to last response.
+	Elapsed time.Duration
+	// RPS is OK responses per wall second.
+	RPS float64
+	// P50 and P99 are wall-clock response-latency quantiles in seconds.
+	P50, P99 float64
+	// Crossed counts responses served via an agent handoff.
+	Crossed int
+}
+
+// Drive runs a closed-loop workload against the cluster's dispatcher and
+// reports throughput and latency quantiles.
+func Drive(addr string, nUsers int, cfg DriveConfig) (*Result, error) {
+	if cfg.Requests <= 0 {
+		return nil, fmt.Errorf("cluster: drive needs a positive request count")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	if workers > cfg.Requests {
+		workers = cfg.Requests
+	}
+	users := cfg.Users
+	if users <= 0 || users > nUsers {
+		users = nUsers
+	}
+	if users <= 0 {
+		return nil, fmt.Errorf("cluster: drive needs at least one user")
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		res       Result
+		firstErr  error
+	)
+	perWorker := make([]int, workers)
+	for i := 0; i < cfg.Requests; i++ {
+		perWorker[i%workers]++
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			lats, ok, failed, crossed, err := runWorker(addr, w, n, users)
+			mu.Lock()
+			defer mu.Unlock()
+			latencies = append(latencies, lats...)
+			res.Sent += n
+			res.OK += ok
+			res.Failed += failed
+			res.Crossed += crossed
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}(w, perWorker[w])
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if res.Elapsed > 0 {
+		res.RPS = float64(res.OK) / res.Elapsed.Seconds()
+	}
+	sort.Float64s(latencies)
+	res.P50 = quantile(latencies, 0.50)
+	res.P99 = quantile(latencies, 0.99)
+	return &res, nil
+}
+
+// runWorker is one closed-loop client: request, await, repeat.
+func runWorker(addr string, worker, n, users int) (lats []float64, ok, failed, crossed int, err error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, 0, n, 0, err
+	}
+	conn, cerr := wire.NewConn(bufio.NewReader(nc), nc, nc)
+	if cerr != nil {
+		nc.Close()
+		return nil, 0, n, 0, cerr
+	}
+	defer conn.Close()
+	if err := conn.Send(&wire.Hello{Role: wire.RoleClient, ID: fmt.Sprintf("loadgen-%d", worker)}); err != nil {
+		return nil, 0, n, 0, err
+	}
+	if _, err := conn.Recv(); err != nil { // Welcome
+		return nil, 0, n, 0, err
+	}
+	for i := 0; i < n; i++ {
+		seq := uint64(worker)<<32 | uint64(i+1)
+		user := (worker + i) % users
+		t0 := time.Now()
+		if err := conn.Send(&wire.Request{Seq: seq, User: user}); err != nil {
+			return lats, ok, failed + (n - i), crossed, err
+		}
+		m, rerr := conn.Recv()
+		if rerr != nil {
+			return lats, ok, failed + (n - i), crossed, rerr
+		}
+		resp, isResp := m.(*wire.Response)
+		if !isResp || resp.Status != wire.StatusOK {
+			failed++
+			continue
+		}
+		lats = append(lats, time.Since(t0).Seconds())
+		ok++
+		if resp.Server >= 0 {
+			crossed++
+		}
+	}
+	return lats, ok, failed, crossed, nil
+}
+
+// quantile returns the q-quantile of sorted values (0 for empty input).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

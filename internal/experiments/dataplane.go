@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"edgesurgeon/internal/cluster"
+	"edgesurgeon/internal/config"
+	"edgesurgeon/internal/serve"
+	"edgesurgeon/internal/stats"
+)
+
+// e27Scenario authors the data-plane scenario through the same JSON schema
+// the agent child processes parse, so the dispatcher and every agent
+// resolve identical models, profiles, and fading traces. The uplinks fade
+// (Markov over a 4x spread) so telemetry actually drifts and the replan
+// policy arms have something to disagree about.
+func e27Scenario(nUsers int) ([]byte, error) {
+	doc := config.Scenario{
+		HorizonSec: 600,
+		Servers: []config.Server{
+			{Name: "edge-gpu", Profile: "edge-gpu-t4", RTTMs: 4,
+				Fading: &config.Fading{StatesMbps: []float64{22, 32, 46}, MeanDwell: 8, Seed: 271}},
+			{Name: "edge-cpu", Profile: "edge-cpu-16c", RTTMs: 6,
+				Fading: &config.Fading{StatesMbps: []float64{14, 22, 30}, MeanDwell: 10, Seed: 272}},
+		},
+	}
+	// Light-to-mid models on weak-to-mid devices: offload is attractive
+	// (the handoff path gets exercised) but every user keeps a sane local
+	// fallback, so plan differences show up as tens of milliseconds, not
+	// as a catastrophic local prefix that drowns the comparison.
+	models := []string{"resnet18", "alexnet", "mobilenetv2"}
+	devices := []string{"rpi4", "phone-soc"}
+	for i := 0; i < nUsers; i++ {
+		doc.Users = append(doc.Users, config.User{
+			Name: fmt.Sprintf("u%02d", i), Model: models[i%len(models)],
+			Device: devices[i%len(devices)], Rate: 2 + float64(i%3),
+			DeadlineMs: 300, Difficulty: "easy-biased", Seed: int64(2000 + i),
+		})
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := config.Parse(data); err != nil {
+		return nil, fmt.Errorf("E27 scenario does not parse: %w", err)
+	}
+	return data, nil
+}
+
+// e27DataPlane runs the loopback cluster (real edgeagent processes, real
+// TCP, the wire protocol end to end) under each replanning policy arm and
+// reports the honest client-observed numbers: requests per wall second and
+// p50/p99 response latency. Latencies are converted from wall seconds back
+// to model milliseconds (divide by TimeScale) so they are comparable with
+// planned latencies and deadlines; RPS stays in wall time because it is a
+// harness-throughput number, not a model quantity.
+func e27DataPlane(nUsers, requests, workers int, timeScale float64) (*Report, error) {
+	r := &Report{
+		ID: "E27", Artifact: "Networked data plane study",
+		Title: fmt.Sprintf("Loopback cluster: %d requests over %d users per policy arm", requests, nUsers),
+	}
+	scenario, err := e27Scenario(nUsers)
+	if err != nil {
+		return nil, err
+	}
+
+	// One agent binary shared by every arm; each cluster gets its own
+	// scratch dir but reuses the build.
+	binDir, err := os.MkdirTemp("", "e27-agent-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(binDir)
+	bin, err := cluster.BuildAgentBin(binDir)
+	if err != nil {
+		return nil, err
+	}
+
+	delta := serve.Hysteresis()
+	delta.DeltaReplan = true
+	arms := []struct {
+		name   string
+		policy serve.Policy
+	}{
+		{"never", serve.NeverReplan()},
+		{"hysteresis", serve.Hysteresis()},
+		{"delta", delta},
+	}
+
+	t := stats.NewTable("Client-observed outcome per replanning policy (loopback cluster, real TCP)",
+		"arm", "sent", "ok", "crossed", "rps", "p50(ms)", "p99(ms)", "full", "delta")
+	for _, arm := range arms {
+		c, err := cluster.Start(cluster.Config{
+			ScenarioJSON:    scenario,
+			AgentBin:        bin,
+			Policy:          arm.policy,
+			TimeScale:       timeScale,
+			TelemetryPeriod: 2,
+			Seed:            42,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("E27 %s: start: %w", arm.name, err)
+		}
+		res, err := cluster.Drive(c.Addr(), nUsers, cluster.DriveConfig{Requests: requests, Workers: workers})
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("E27 %s: drive: %w", arm.name, err)
+		}
+		full := c.Runtime.FullReplans()
+		reg := c.Runtime.Metrics()
+		deltaReplans := reg.Counter("serve.replans.delta").Value()
+		pushes := reg.Counter("dataplane.alloc_pushes").Value()
+		coalesced := reg.Counter("dataplane.telemetry_coalesced").Value()
+		c.Close()
+
+		p50ms := res.P50 / timeScale * 1e3
+		p99ms := res.P99 / timeScale * 1e3
+		okFrac := 0.0
+		if res.Sent > 0 {
+			okFrac = float64(res.OK) / float64(res.Sent)
+		}
+		t.AddRow(arm.name, res.Sent, res.OK, res.Crossed,
+			fmt.Sprintf("%.0f", res.RPS), fmt.Sprintf("%.1f", p50ms), fmt.Sprintf("%.1f", p99ms),
+			full, deltaReplans)
+		r.metric("rps_"+arm.name, res.RPS)
+		r.metric("p50_ms_"+arm.name, p50ms)
+		r.metric("p99_ms_"+arm.name, p99ms)
+		r.metric("ok_frac_"+arm.name, okFrac)
+		r.metric("full_replans_"+arm.name, float64(full))
+		r.metric("delta_replans_"+arm.name, float64(deltaReplans))
+		r.metric("alloc_pushes_"+arm.name, float64(pushes))
+		r.metric("telemetry_coalesced_"+arm.name, float64(coalesced))
+		if okFrac < 1 {
+			r.note("WARNING: %s arm failed %d/%d requests", arm.name, res.Failed, res.Sent)
+		}
+	}
+	r.Tables = append(r.Tables, t)
+	r.metric("time_scale", timeScale)
+	r.note("p50/p99 are client wall latencies converted to model ms (wall/TimeScale); rps is wall-clock throughput of the %d-worker closed loop", workers)
+	r.note("the never arm plans once on mean rates and ignores fading drift; hysteresis and delta arms push refreshed allocations to the agents as telemetry drifts")
+	r.note("replanning arms pay an honest tail cost on small hosts: a full replan's planning wall-time contends with the loopback plane for CPU, which the 1/TimeScale conversion magnifies into the p99 column")
+	return r, nil
+}
+
+// E27DataPlane is the full networked data-plane study. The request count
+// is sized so the closed loop spans several fading dwells and replan
+// debounce windows (model time advances roughly one plan latency per
+// worker round), so the policy arms genuinely diverge.
+func E27DataPlane() (*Report, error) {
+	return e27DataPlane(6, 4000, 4, 0.005)
+}
+
+// E27QuickDataPlane is the CI-sized variant behind `experiments -quick`:
+// same arms and metric keys, fewer requests and a faster clock. It backs
+// `make bench-serve-smoke`, which asserts the metric keys into
+// BENCH_serve.json.
+func E27QuickDataPlane() (*Report, error) {
+	return e27DataPlane(4, 1200, 4, 0.002)
+}

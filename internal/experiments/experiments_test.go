@@ -7,10 +7,10 @@ import (
 
 func TestRegistryCompleteAndOrdered(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 26 {
-		t.Fatalf("got %d experiments, want 26: %v", len(ids), ids)
+	if len(ids) != 27 {
+		t.Fatalf("got %d experiments, want 27: %v", len(ids), ids)
 	}
-	if ids[0] != "E1" || ids[25] != "E26" {
+	if ids[0] != "E1" || ids[26] != "E27" {
 		t.Fatalf("bad ordering: %v", ids)
 	}
 	reg := Registry()
@@ -300,6 +300,37 @@ func TestE21SmallScaleAgrees(t *testing.T) {
 	for _, k := range []string{"events_per_sec", "speedup_vs_sequential", "allocs_per_event", "cores"} {
 		if _, ok := r.Metrics[k]; !ok {
 			t.Errorf("metric %q missing", k)
+		}
+	}
+}
+
+// TestE27SmallShape runs a shrunken E27 data-plane study (real edgeagent
+// processes over loopback TCP under each policy arm), asserting the report
+// shape and that every metric key the bench-serve-smoke guard requires is
+// emitted. Throughput and tail numbers are host-dependent and not bounded
+// here; what is asserted is that every arm completed its requests.
+func TestE27SmallShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess cluster arms in -short mode")
+	}
+	r, err := e27DataPlane(2, 120, 2, 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "E27" {
+		t.Errorf("report ID %q", r.ID)
+	}
+	if rows := len(r.Tables[0].Rows); rows != 3 {
+		t.Fatalf("arm rows = %d, want 3", rows)
+	}
+	for _, arm := range []string{"never", "hysteresis", "delta"} {
+		for _, k := range []string{"rps_", "p50_ms_", "p99_ms_", "ok_frac_", "full_replans_"} {
+			if _, ok := r.Metrics[k+arm]; !ok {
+				t.Errorf("metric %q missing", k+arm)
+			}
+		}
+		if f := r.Metrics["ok_frac_"+arm]; f < 1 {
+			t.Errorf("arm %s completed only %.3f of its requests", arm, f)
 		}
 	}
 }

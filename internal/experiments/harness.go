@@ -94,6 +94,7 @@ func Registry() map[string]Runner {
 		"E24": E24FrontierStudy,
 		"E25": E25ChaosRecovery,
 		"E26": E26ReplanLatency,
+		"E27": E27DataPlane,
 	}
 }
 
@@ -105,6 +106,7 @@ func QuickVariants() map[string]Runner {
 		"E23": E23QuickPlannerScale,
 		"E24": E24QuickFrontierStudy,
 		"E26": E26QuickReplanLatency,
+		"E27": E27QuickDataPlane,
 	}
 }
 

@@ -1,0 +1,61 @@
+package joint
+
+import (
+	"testing"
+
+	"edgesurgeon/internal/surgery"
+)
+
+// BenchmarkFrontierPlanArms contrasts the three E23 planning arms on one
+// sharded population: plain sharded (no tables), frontier tables with the
+// per-Plan (user, server)→table memo, and frontier tables with the memo
+// disabled (every query re-builds and re-hashes its FrontierKey). The memo
+// is the ROADMAP follow-through that keeps the frontier arm from trailing
+// plain sharded on memo-hostile populations; compare ns/op across the
+// sub-benchmarks to verify frontier-memo ≤ sharded-plain.
+func BenchmarkFrontierPlanArms(b *testing.B) {
+	const (
+		nUsers         = 192
+		uplinkMbps     = 25
+		shardThreshold = 48
+	)
+	sc := testScenario(b, nUsers, uplinkMbps)
+	base := Options{ShardThreshold: shardThreshold}
+
+	set, err := BuildFrontierSet(sc, base, surgery.BuildOptions{Surgery: base.Surgery})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	arms := []struct {
+		name string
+		opt  Options
+	}{
+		{"sharded-plain", base},
+		{"frontier-memo", func() Options { o := base; o.Frontiers = set; return o }()},
+		{"frontier-nomemo", func() Options { o := base; o.Frontiers = set; o.DisableFrontierMemo = true; return o }()},
+	}
+	for _, arm := range arms {
+		b.Run(arm.name, func(b *testing.B) {
+			p := &Planner{Opt: arm.opt}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var last *Plan
+			for i := 0; i < b.N; i++ {
+				plan, err := p.Plan(sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = plan
+			}
+			b.StopTimer()
+			if arm.opt.Frontiers != nil && last != nil {
+				lookups := last.FrontierHits + last.FrontierMisses
+				if lookups == 0 {
+					b.Fatal("frontier arm answered no surgery queries from the tables")
+				}
+				b.ReportMetric(100*float64(last.FrontierHits)/float64(lookups), "hit%")
+			}
+		})
+	}
+}

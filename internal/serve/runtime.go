@@ -247,7 +247,10 @@ func newShell(cfg Config, planner *joint.Planner, reg *telemetry.Registry) *Runt
 	}
 	rt.gDriftSrv = make([]*telemetry.Gauge, len(cfg.Scenario.Servers))
 	for i := range rt.gDriftSrv {
-		rt.gDriftSrv[i] = reg.Gauge(fmt.Sprintf("serve.drift.s%02d", i))
+		// The gauge name's source token is the same canonical SourceID the
+		// quarantine table keys on and wire agents register with — one
+		// naming scheme across every per-server label.
+		rt.gDriftSrv[i] = reg.Gauge("serve.drift." + telemetry.SourceID(i))
 	}
 	return rt
 }

@@ -1,0 +1,12 @@
+package telemetry
+
+import "fmt"
+
+// SourceID is the canonical telemetry-source label for server index s —
+// the single naming scheme shared by every layer that labels per-server
+// state: the serve runtime's "serve.drift.<id>" gauges, the quarantine
+// table's per-source standings, and the wire protocol's agent IDs (an
+// edgeagent process registers and stamps its telemetry samples with the
+// SourceID of the server it runs). Keeping one scheme means a quarantined
+// agent and its drift gauge are always greppable by the same token.
+func SourceID(server int) string { return fmt.Sprintf("s%02d", server) }

@@ -1,0 +1,64 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWireDecode pins the core safety property of the protocol: Decode never
+// panics on arbitrary bytes, and anything it does accept re-encodes to a
+// payload that decodes to the same message (the codec is a bijection on the
+// accepted set, modulo non-canonical float spellings — so we compare via a
+// second decode rather than byte equality).
+func FuzzWireDecode(f *testing.F) {
+	for _, m := range allMessages() {
+		payload, err := Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(payload)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := Encode(m)
+		if err != nil {
+			t.Fatalf("decoded %T but re-encode failed: %v", m, err)
+		}
+		m2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded %T failed to decode: %v", m, err)
+		}
+		re2, err := Encode(m2)
+		if err != nil {
+			t.Fatalf("second re-encode of %T failed: %v", m2, err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatalf("%T not stable under encode/decode: % x vs % x", m, re, re2)
+		}
+	})
+}
+
+// FuzzWireFrame pins that frame reading on arbitrary bytes never panics and
+// never allocates beyond MaxFrame.
+func FuzzWireFrame(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteFrame(&buf, []byte("payload"))
+	f.Add(buf.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			p, err := ReadFrame(r)
+			if err != nil {
+				return
+			}
+			if len(p) > MaxFrame {
+				t.Fatalf("ReadFrame returned %d bytes > MaxFrame", len(p))
+			}
+		}
+	})
+}

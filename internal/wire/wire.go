@@ -1,0 +1,305 @@
+// Package wire is the data plane's binary protocol: the framing and message
+// set spoken between the dispatcher (cmd/edgeserved -listen) and its peers —
+// edgeagent processes serving one edge server each, and clients submitting
+// inference requests. The encoding is deliberately simple and fully
+// self-describing:
+//
+//   - every connection direction starts with a 4-byte magic ("ESWP") plus a
+//     uvarint protocol version, so a foreign or stale peer is rejected on
+//     the first read;
+//   - every message is one length-prefixed frame: a uvarint payload length
+//     (bounded by MaxFrame) followed by the payload — a uvarint message
+//     type and the message fields;
+//   - floats travel as length-prefixed strconv 'g'/-1 strings, the same
+//     codec the serve WAL uses, so NaN and ±Inf telemetry round-trips
+//     exactly (the quarantine machinery strikes on exactly such samples);
+//   - integers are uvarint/zigzag-varint, strings and byte blobs are
+//     length-prefixed.
+//
+// Decoding never panics on arbitrary bytes (FuzzWireDecode pins this):
+// every length read is validated against the remaining frame, oversize
+// frames are refused before allocation, and a short frame surfaces as a
+// typed *DecodeError naming the offending field.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"sync"
+)
+
+// Magic heads every connection direction; a peer that opens with anything
+// else is not speaking this protocol.
+const Magic = "ESWP"
+
+// Version is the protocol version carried after the magic. Peers with a
+// different version are rejected at handshake.
+const Version = 1
+
+// MaxFrame bounds one message frame's payload. A length prefix above this
+// is refused before any allocation — a torn stream or a hostile peer must
+// not be able to make the reader allocate gigabytes.
+const MaxFrame = 1 << 20
+
+// DecodeError reports a malformed frame or message, naming the field that
+// failed so a protocol bug is diagnosable from the error alone.
+type DecodeError struct {
+	Field  string
+	Reason string
+}
+
+// Error implements error.
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("wire: decoding %s: %s", e.Field, e.Reason)
+}
+
+func decodeErr(field, format string, args ...any) error {
+	return &DecodeError{Field: field, Reason: fmt.Sprintf(format, args...)}
+}
+
+// WriteHeader writes the magic + version preamble for one direction.
+func WriteHeader(w io.Writer) error {
+	buf := append([]byte(Magic), 0, 0)
+	n := binary.PutUvarint(buf[len(Magic):], Version)
+	if _, err := w.Write(buf[:len(Magic)+n]); err != nil {
+		return fmt.Errorf("wire: writing header: %w", err)
+	}
+	return nil
+}
+
+// ReadHeader consumes and validates the peer's preamble.
+func ReadHeader(r io.ByteReader) error {
+	for i := 0; i < len(Magic); i++ {
+		b, err := r.ReadByte()
+		if err != nil {
+			return fmt.Errorf("wire: reading magic: %w", err)
+		}
+		if b != Magic[i] {
+			return decodeErr("magic", "byte %d is 0x%02x, want %q", i, b, Magic[i])
+		}
+	}
+	v, err := binary.ReadUvarint(r)
+	if err != nil {
+		return fmt.Errorf("wire: reading version: %w", err)
+	}
+	if v != Version {
+		return decodeErr("version", "peer speaks version %d, want %d", v, Version)
+	}
+	return nil
+}
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame %d", len(payload), MaxFrame)
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(payload)))
+	if _, err := w.Write(lenBuf[:n]); err != nil {
+		return fmt.Errorf("wire: writing frame length: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wire: writing frame payload: %w", err)
+	}
+	return nil
+}
+
+// frameReader is the minimal reader contract frames need.
+type frameReader interface {
+	io.Reader
+	io.ByteReader
+}
+
+// ReadFrame reads one frame payload. A clean EOF before the length prefix
+// returns io.EOF (the peer hung up between messages); anything truncated
+// mid-frame is io.ErrUnexpectedEOF.
+func ReadFrame(r frameReader) ([]byte, error) {
+	length, err := binary.ReadUvarint(r)
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: reading frame length: %w", err)
+	}
+	if length > MaxFrame {
+		return nil, decodeErr("frame", "length %d exceeds MaxFrame %d", length, MaxFrame)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("wire: reading %d-byte frame: %w", length, err)
+	}
+	return payload, nil
+}
+
+// --- field primitives ---
+
+type enc struct{ b []byte }
+
+func (e *enc) uvarint(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) varint(v int64)   { e.b = binary.AppendVarint(e.b, v) }
+func (e *enc) bytes(p []byte)   { e.uvarint(uint64(len(p))); e.b = append(e.b, p...) }
+func (e *enc) str(s string)     { e.uvarint(uint64(len(s))); e.b = append(e.b, s...) }
+func (e *enc) boolean(v bool)   { e.b = append(e.b, b2u(v)) }
+func (e *enc) float(v float64)  { e.str(strconv.FormatFloat(v, 'g', -1, 64)) }
+
+func b2u(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+type dec struct {
+	b     []byte
+	field string // current field name for error messages
+}
+
+func (d *dec) fail(format string, args ...any) error {
+	return decodeErr(d.field, format, args...)
+}
+
+func (d *dec) uvarint(field string) (uint64, error) {
+	d.field = field
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		return 0, d.fail("truncated or overlong uvarint")
+	}
+	d.b = d.b[n:]
+	return v, nil
+}
+
+func (d *dec) varint(field string) (int64, error) {
+	d.field = field
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		return 0, d.fail("truncated or overlong varint")
+	}
+	d.b = d.b[n:]
+	return v, nil
+}
+
+func (d *dec) bytes(field string) ([]byte, error) {
+	n, err := d.uvarint(field)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.b)) {
+		return nil, d.fail("length %d exceeds remaining %d bytes", n, len(d.b))
+	}
+	if n == 0 {
+		return nil, nil // keep empty blobs nil so round-trips are exact
+	}
+	out := make([]byte, n)
+	copy(out, d.b[:n])
+	d.b = d.b[n:]
+	return out, nil
+}
+
+func (d *dec) str(field string) (string, error) {
+	p, err := d.bytes(field)
+	return string(p), err
+}
+
+func (d *dec) boolean(field string) (bool, error) {
+	d.field = field
+	if len(d.b) == 0 {
+		return false, d.fail("truncated bool")
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	if v > 1 {
+		return false, d.fail("bool byte 0x%02x is neither 0 nor 1", v)
+	}
+	return v == 1, nil
+}
+
+func (d *dec) float(field string) (float64, error) {
+	s, err := d.str(field)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		d.field = field
+		return 0, d.fail("float %q: %v", s, err)
+	}
+	return v, nil
+}
+
+// count reads a collection length and sanity-bounds it: every element takes
+// at least minElemBytes on the wire, so a count the remaining bytes cannot
+// possibly hold is a lie, refused before allocation.
+func (d *dec) count(field string, minElemBytes int) (int, error) {
+	n, err := d.uvarint(field)
+	if err != nil {
+		return 0, err
+	}
+	if minElemBytes < 1 {
+		minElemBytes = 1
+	}
+	if n > uint64(len(d.b)/minElemBytes) {
+		return 0, d.fail("count %d exceeds what %d remaining bytes can hold", n, len(d.b))
+	}
+	return int(n), nil
+}
+
+// finiteOrSpecial rejects nothing: telemetry deliberately carries NaN/±Inf
+// (the quarantine strikes on them). Kept as documentation of intent.
+var _ = math.NaN
+
+// Conn wraps one side of a protocol connection: framed, header-checked,
+// with writes serialized so concurrent request handlers can share it.
+type Conn struct {
+	wmu sync.Mutex
+	w   io.Writer
+	r   frameReader
+	c   io.Closer
+}
+
+// NewConn performs the header exchange for this side (write ours, validate
+// theirs) and returns the framed connection. rw must be buffered on the
+// read side (e.g. a bufio.Reader); pass the raw conn as c for Close.
+func NewConn(r frameReader, w io.Writer, c io.Closer) (*Conn, error) {
+	if err := WriteHeader(w); err != nil {
+		return nil, err
+	}
+	if err := ReadHeader(r); err != nil {
+		return nil, err
+	}
+	return &Conn{w: w, r: r, c: c}, nil
+}
+
+// Send encodes and writes one message as a frame. Safe for concurrent use.
+func (c *Conn) Send(m Msg) error {
+	payload, err := Encode(m)
+	if err != nil {
+		return err
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return WriteFrame(c.w, payload)
+}
+
+// Recv reads and decodes the next message. Not safe for concurrent use —
+// each connection has one reader goroutine.
+func (c *Conn) Recv() (Msg, error) {
+	payload, err := ReadFrame(c.r)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(payload)
+}
+
+// Close closes the underlying connection (if a closer was supplied).
+func (c *Conn) Close() error {
+	if c.c == nil {
+		return nil
+	}
+	return c.c.Close()
+}

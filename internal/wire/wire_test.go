@@ -1,0 +1,255 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"net"
+	"reflect"
+	"testing"
+)
+
+// allMessages is one exemplar per message type, with special floats where
+// telemetry can legitimately carry them (the serve quarantine strikes on
+// NaN samples, so the wire must deliver them intact).
+func allMessages() []Msg {
+	return []Msg{
+		&Hello{Role: RoleAgent, ID: "s01", Server: 1},
+		&Hello{Role: RoleClient},
+		&Welcome{Servers: 2, Users: 8, ID: "s01"},
+		&Heartbeat{Time: 12.25},
+		&Allocation{
+			Epoch: 7, UplinkBps: 2.4e7, RTT: 0.004,
+			Entries: []AllocEntry{
+				{User: 0, Partition: 9, Theta: 0.62, Exits: []int{3, 6}, ComputeShare: 0.5, BandwidthShare: 0.25},
+				{User: 3, Partition: 0, ComputeShare: 0.125, BandwidthShare: 0.75},
+			},
+		},
+		&Allocation{Epoch: 8, UplinkBps: 1e6, RTT: 0},
+		&AllocAck{Epoch: 7},
+		&Infer{Seq: 41, User: 3, DeviceSec: 0.012, Payload: []byte("activation")},
+		&Infer{Seq: 42, User: 0, DeviceSec: 0},
+		&InferResult{Seq: 41, User: 3, Status: StatusOK, UplinkSec: 0.02, QueueSec: 0.001, ServerSec: 0.008},
+		&Telemetry{Time: 30, UplinkBps: 8e6, Healthy: true},
+		&Telemetry{Time: math.NaN(), UplinkBps: math.Inf(1), Healthy: false},
+		&Request{Seq: 9, User: 2},
+		&Response{Seq: 9, User: 2, Status: StatusOK, Server: 1,
+			DeviceSec: 0.01, UplinkSec: 0.02, QueueSec: 0, ServerSec: 0.005, TotalSec: 0.035},
+		&Response{Seq: 10, User: 5, Status: StatusFailed, Server: -1},
+		&ErrorMsg{Text: "unknown user 99"},
+	}
+}
+
+// floatsEqual treats NaN == NaN: the codec must round-trip specials.
+func msgsEqual(a, b Msg) bool {
+	// Normalize NaNs by comparing formatted forms via reflect on the
+	// concrete structs; reflect.DeepEqual already treats NaN != NaN, so
+	// special-case Telemetry (the only message that may carry specials).
+	ta, ok := a.(*Telemetry)
+	if ok {
+		tb, ok := b.(*Telemetry)
+		if !ok {
+			return false
+		}
+		eq := func(x, y float64) bool {
+			return x == y || (math.IsNaN(x) && math.IsNaN(y))
+		}
+		return eq(ta.Time, tb.Time) && eq(ta.UplinkBps, tb.UplinkBps) && ta.Healthy == tb.Healthy
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+func TestRoundTripAllMessages(t *testing.T) {
+	for _, m := range allMessages() {
+		payload, err := Encode(m)
+		if err != nil {
+			t.Fatalf("encode %T: %v", m, err)
+		}
+		got, err := Decode(payload)
+		if err != nil {
+			t.Fatalf("decode %T: %v", m, err)
+		}
+		if !msgsEqual(m, got) {
+			t.Fatalf("round trip %T: sent %+v got %+v", m, m, got)
+		}
+	}
+}
+
+func TestRoundTripOverConn(t *testing.T) {
+	// Real TCP, not net.Pipe: the handshake writes both directions before
+	// reading, which needs the kernel socket buffer a pipe doesn't have.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		conn *Conn
+		err  error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		b, err := ln.Accept()
+		if err != nil {
+			ch <- res{nil, err}
+			return
+		}
+		c, err := NewConn(bufio.NewReader(b), b, b)
+		ch <- res{c, err}
+	}()
+	a, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	ca, err := NewConn(bufio.NewReader(a), a, a)
+	if err != nil {
+		t.Fatalf("client handshake: %v", err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatalf("server handshake: %v", r.err)
+	}
+	cb := r.conn
+
+	msgs := allMessages()
+	go func() {
+		for _, m := range msgs {
+			if err := ca.Send(m); err != nil {
+				t.Errorf("send %T: %v", m, err)
+				return
+			}
+		}
+	}()
+	for _, want := range msgs {
+		got, err := cb.Recv()
+		if err != nil {
+			t.Fatalf("recv (want %T): %v", want, err)
+		}
+		if !msgsEqual(want, got) {
+			t.Fatalf("over conn: sent %+v got %+v", want, got)
+		}
+	}
+}
+
+func TestForeignMagicRejected(t *testing.T) {
+	r := bufio.NewReader(bytes.NewReader([]byte("HTTP/1.1 400\r\n\r\n")))
+	err := ReadHeader(r)
+	var de *DecodeError
+	if !errors.As(err, &de) {
+		t.Fatalf("foreign magic: got %v, want *DecodeError", err)
+	}
+}
+
+func TestWrongVersionRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	buf.WriteByte(99) // uvarint version 99
+	err := ReadHeader(bufio.NewReader(&buf))
+	var de *DecodeError
+	if !errors.As(err, &de) {
+		t.Fatalf("wrong version: got %v, want *DecodeError", err)
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	// Writer side refuses to emit one.
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, MaxFrame+1)); err == nil {
+		t.Fatal("WriteFrame accepted an over-MaxFrame payload")
+	}
+	// Reader side refuses the length prefix before allocating.
+	buf.Reset()
+	var lenBuf [10]byte
+	n := putUvarint(lenBuf[:], MaxFrame+1)
+	buf.Write(lenBuf[:n])
+	_, err := ReadFrame(bufio.NewReader(&buf))
+	var de *DecodeError
+	if !errors.As(err, &de) {
+		t.Fatalf("oversize frame: got %v, want *DecodeError", err)
+	}
+}
+
+func TestTornFrame(t *testing.T) {
+	payload, err := Encode(&Heartbeat{Time: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every strict prefix must fail with EOF/UnexpectedEOF, never panic or
+	// return a message.
+	for cut := 0; cut < len(full); cut++ {
+		_, err := ReadFrame(bufio.NewReader(bytes.NewReader(full[:cut])))
+		if err == nil {
+			t.Fatalf("torn frame at %d/%d bytes decoded successfully", cut, len(full))
+		}
+		if cut == 0 && !errors.Is(err, io.EOF) {
+			t.Fatalf("empty stream: got %v, want io.EOF", err)
+		}
+		if cut > 0 && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+			t.Fatalf("torn frame at %d bytes: got %v, want unexpected EOF", cut, err)
+		}
+	}
+}
+
+func TestTruncatedMessageRejected(t *testing.T) {
+	for _, m := range allMessages() {
+		payload, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(payload); cut++ {
+			if got, err := Decode(payload[:cut]); err == nil {
+				t.Fatalf("truncated %T at %d/%d bytes decoded as %+v", m, cut, len(payload), got)
+			}
+		}
+	}
+}
+
+func TestTrailingGarbageRejected(t *testing.T) {
+	payload, err := Encode(&AllocAck{Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(append(payload, 0xFF)); err == nil {
+		t.Fatal("trailing garbage decoded successfully")
+	}
+}
+
+func TestUnknownTypeRejected(t *testing.T) {
+	if _, err := Decode([]byte{200, 1}); err == nil {
+		t.Fatal("unknown message type decoded successfully")
+	}
+}
+
+func TestLyingCollectionCountRejected(t *testing.T) {
+	// An Allocation claiming 2^40 entries in a 16-byte payload must be
+	// refused before allocation.
+	e := &enc{}
+	e.uvarint(uint64(TypeAllocation))
+	e.uvarint(1)       // epoch
+	e.float(1e6)       // uplink
+	e.float(0)         // rtt
+	e.uvarint(1 << 40) // entry count lie
+	if _, err := Decode(e.b); err == nil {
+		t.Fatal("lying entry count decoded successfully")
+	}
+}
+
+// putUvarint is a tiny local copy to avoid importing encoding/binary here.
+func putUvarint(buf []byte, x uint64) int {
+	i := 0
+	for x >= 0x80 {
+		buf[i] = byte(x) | 0x80
+		x >>= 7
+		i++
+	}
+	buf[i] = byte(x)
+	return i + 1
+}
