@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race fuzz-smoke bench bench-smoke bench-planner-smoke bench-frontier-smoke bench-replan-smoke bench-serve-smoke serve-smoke chaos-smoke cluster-smoke experiments examples cover clean
+.PHONY: all build vet test test-short test-race fuzz-smoke bench bench-smoke bench-planner-smoke bench-frontier-smoke bench-replan-smoke bench-serve-smoke serve-smoke chaos-smoke cluster-smoke client-smoke backpressure-stress experiments examples cover clean
 
 all: build vet test
 
@@ -26,7 +26,7 @@ test-short:
 # experiments arm pool.
 test-race:
 	$(GO) test -race -timeout 30m ./internal/joint/... ./internal/surgery/... ./internal/sim/... ./internal/telemetry/... ./internal/serve/...
-	$(GO) test -race -timeout 15m ./internal/wire/... ./internal/agent/... ./internal/cluster/...
+	$(GO) test -race -timeout 15m ./internal/wire/... ./internal/agent/... ./internal/client/... ./internal/cluster/...
 	$(GO) test -race -run 'TestE21SmallScaleAgrees' ./internal/experiments
 
 # Short fuzzing pass over the optimizer kernels (~10 s per target): the
@@ -44,6 +44,7 @@ fuzz-smoke:
 	$(GO) test ./internal/serve -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime 10s
 	$(GO) test ./internal/serve -run '^$$' -fuzz FuzzWALReplay -fuzztime 10s
 	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzWireDecode -fuzztime 10s
+	$(GO) test ./internal/client -run '^$$' -fuzz FuzzClientDecode -fuzztime 10s
 
 # One benchmark per evaluation artifact (E1-E21) plus kernel microbenchmarks.
 bench:
@@ -116,6 +117,23 @@ bench-serve-smoke:
 cluster-smoke:
 	$(GO) run ./cmd/edgeserved -scenario cmd/edgeserved/testdata/smoke-scenario.json \
 		-listen 127.0.0.1:0 -timescale 0.002 -requests 200 -workers 4 -min-ok-frac 0.95
+	$(GO) run ./cmd/edgeserved -scenario cmd/edgeserved/testdata/smoke-scenario.json \
+		-listen 127.0.0.1:0 -timescale 0.002 -requests 200 -workers 4 -min-ok-frac 0.95 \
+		-stall-clients 2
+
+# Client-library smoke for CI: the internal/client unit suite (handshake
+# taxonomy, per-call deadlines, cancellation, typed errors, in-flight
+# window) under the race detector.
+client-smoke:
+	$(GO) test -race -count=1 ./internal/client
+
+# Backpressure stress suite for CI: misbehaving clients (stalled, slow,
+# byte-at-a-time, mid-frame disconnect, reconnect storm) against a live
+# dispatcher, plus the dispatcher lifecycle regressions, all under -race.
+backpressure-stress:
+	$(GO) test -race -count=1 -timeout 10m \
+		-run 'TestStalled|TestSlowReader|TestByteAtATime|TestMidFrame|TestReconnectStorm|TestCloseWithIdle|TestAgentDeathMidRequest|TestDuplicateHello|TestOutbox|TestNonLoopback' \
+		./internal/agent ./internal/cluster
 
 # Regenerate every table and figure of the reconstructed evaluation.
 experiments:

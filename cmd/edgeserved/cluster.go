@@ -23,6 +23,8 @@ type clusterOpts struct {
 	minOKFrac       float64
 	frontier        bool
 	seed            int64
+	stallClients    int
+	httpAddr        string
 }
 
 // runCluster boots the networked data plane for real: the wire dispatcher
@@ -53,6 +55,30 @@ func runCluster(sc *joint.Scenario, scenarioJSON []byte, policy serve.Policy, o 
 	fmt.Printf("cluster up: dispatcher at %s, %d servers, %d users\n",
 		c.Addr(), len(sc.Servers), len(sc.Users))
 
+	if o.httpAddr != "" {
+		go func() {
+			if err := serveHTTP(o.httpAddr, sc, c.Runtime); err != nil {
+				fmt.Fprintf(os.Stderr, "edgeserved: http: %v\n", err)
+			}
+		}()
+	}
+
+	// Optional backpressure arm: stalled clients that handshake, fire a
+	// request burst, and never read a response. The dispatcher must shed
+	// their queued responses and eventually drop them without denting the
+	// healthy drive below.
+	for i := 0; i < o.stallClients; i++ {
+		burst := o.requests
+		if burst <= 0 {
+			burst = 64
+		}
+		s, err := cluster.StartStalledClient(c.Addr(), burst, len(sc.Users))
+		if err != nil {
+			return fmt.Errorf("stalled client %d: %w", i, err)
+		}
+		defer s.Close()
+	}
+
 	if o.requests <= 0 {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -80,6 +106,12 @@ func runCluster(sc *joint.Scenario, scenarioJSON []byte, policy serve.Policy, o 
 		c.Runtime.FullReplans(),
 		reg.Counter("dataplane.alloc_pushes").Value(),
 		reg.Counter("dataplane.telemetry_coalesced").Value())
+	if o.stallClients > 0 {
+		fmt.Printf("backpressure: %d responses shed, %d deadline trips, %d clients dropped\n",
+			reg.Counter("dataplane.client_shed").Value(),
+			reg.Counter("dataplane.write_deadline_trips").Value(),
+			reg.Counter("dataplane.clients_dropped").Value())
+	}
 	if res.Crossed == 0 {
 		return fmt.Errorf("no request crossed to an agent; the handoff path never ran")
 	}

@@ -22,8 +22,13 @@
 //	    -requests 200 -min-ok-frac 0.95
 //	    # live mode: spawn one edgeagent process per server, serve the wire
 //	    # protocol over TCP, drive a bounded closed loop, gate the exit code
-//	edgeserved -scenario deploy.json -listen 127.0.0.1:7443
-//	    # live mode without -requests: serve clients until interrupted
+//	edgeserved -scenario deploy.json -listen 127.0.0.1:7443 -http :8080
+//	    # live mode without -requests: serve clients until interrupted,
+//	    # /metrics and /plan live on :8080 the whole time
+//	edgeserved -scenario deploy.json -listen 127.0.0.1:0 -timescale 0.002 \
+//	    -requests 200 -stall-clients 2 -min-ok-frac 0.95
+//	    # backpressure smoke: two stalled clients alongside the closed loop;
+//	    # the dispatcher sheds their responses without denting the drive
 //
 // The scenario schema is documented in internal/config; the trace format is
 // JSON lines, one telemetry.Sample per line.
@@ -185,7 +190,7 @@ func main() {
 		budgetWindow = flag.Float64("budget-window", -1, "override: trailing budget window in seconds")
 		journalPath  = flag.String("journal", "", "write the replan-decision journal here (\"-\" = stdout)")
 		expectFull   = flag.Int("expect-full-replans", -1, "exit non-zero unless the replay ran exactly this many full replans")
-		httpAddr     = flag.String("http", "", "serve /metrics and /plan on this address after the replay")
+		httpAddr     = flag.String("http", "", "serve /metrics and /plan on this address (after the replay, or alongside live mode)")
 		parallelism  = flag.Int("parallelism", 0, "planner worker count (0 = GOMAXPROCS); plans are identical across levels")
 		shardThresh  = flag.Int("shard-threshold", 0, "route full replans of scenarios with at least this many users through the hierarchical sharded planner (0 = always monolithic)")
 		frontier     = flag.Bool("frontier", false, "precompute Pareto-frontier surgery tables per planned scenario (see serve.frontier.* metrics); plans follow the tables' geometric share grid")
@@ -202,7 +207,7 @@ func main() {
 		qProbation     = flag.Float64("quarantine-probation", -1, "override: virtual seconds a quarantined source stays muted")
 
 		listenAddr  = flag.String("listen", "", "live mode: run the wire dispatcher on this TCP address with one edgeagent process per server")
-		agents      = flag.Int("agents", 0, "live mode: agent process count (0 = one per scenario server)")
+		agents      = flag.Int("agents", 0, "live mode: local agent process count (0 = one per scenario server, -1 = spawn none and wait for remote edgeagent processes to dial in)")
 		agentBin    = flag.String("agent-bin", "", "live mode: prebuilt edgeagent binary (empty = go build one)")
 		requests    = flag.Int("requests", 0, "live mode: drive this many closed-loop requests then exit (0 = serve until interrupted)")
 		workers     = flag.Int("workers", 4, "live mode: closed-loop client concurrency")
@@ -210,6 +215,7 @@ func main() {
 		telemPeriod = flag.Float64("telemetry-period", 2, "live mode: agent telemetry period in model-seconds")
 		minOKFrac   = flag.Float64("min-ok-frac", 0, "live mode: exit non-zero unless at least this fraction of driven requests succeed")
 		clusterSeed = flag.Int64("seed", 42, "live mode: partition-crossing sampler seed")
+		stallCount  = flag.Int("stall-clients", 0, "live mode: also connect this many stalled clients (handshake, burst requests, never read) to exercise backpressure shedding")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -258,6 +264,7 @@ func main() {
 			requests: *requests, workers: *workers,
 			timeScale: *timeScale, telemetryPeriod: *telemPeriod,
 			minOKFrac: *minOKFrac, frontier: *frontier, seed: *clusterSeed,
+			stallClients: *stallCount, httpAddr: *httpAddr,
 		})
 		if err != nil {
 			fatal(err)

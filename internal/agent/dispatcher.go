@@ -39,9 +39,36 @@ type DispatcherConfig struct {
 	// InferTimeout bounds one remote suffix execution in wall time;
 	// 0 means 30s.
 	InferTimeout time.Duration
+	// WriteDeadline bounds one outbound frame write on any peer socket.
+	// A connection whose kernel buffer cannot absorb a frame within the
+	// deadline has a stalled reader behind it; the frame may be half
+	// written, so the connection is dropped (client) or marked suspect and
+	// evacuated (agent). 0 means 5s.
+	WriteDeadline time.Duration
+	// ClientQueue bounds each client connection's outbound response queue;
+	// a response that does not fit is shed (dataplane.client_shed).
+	// 0 means 64.
+	ClientQueue int
+	// ClientStrikes is how many sheds a client survives before the
+	// dispatcher disconnects it (dataplane.clients_dropped). 0 means 32.
+	ClientStrikes int
+	// ClientWriteBuffer, when > 0, sets the kernel send-buffer size for
+	// client sockets. Production leaves it 0 (OS default/auto-tuning); the
+	// backpressure stress tests shrink it so a stalled reader exerts
+	// pressure within a few frames instead of a few hundred kilobytes.
+	ClientWriteBuffer int
 	// Logf, when set, receives dispatcher lifecycle logging.
 	Logf func(format string, args ...any)
 }
+
+// agentQueue bounds each agent connection's outbound queue (allocation
+// pushes + Infer handoffs). Overflow marks the agent suspect: an agent that
+// cannot drain this many frames is not serving.
+const agentQueue = 256
+
+// handshakeTimeout bounds the header + Hello/Welcome exchange so a peer
+// that connects and goes silent cannot pin a handler goroutine.
+const handshakeTimeout = 10 * time.Second
 
 func (c *DispatcherConfig) timeScale() float64 {
 	if c.TimeScale > 0 {
@@ -57,6 +84,27 @@ func (c *DispatcherConfig) inferTimeout() time.Duration {
 	return 30 * time.Second
 }
 
+func (c *DispatcherConfig) writeDeadline() time.Duration {
+	if c.WriteDeadline > 0 {
+		return c.WriteDeadline
+	}
+	return 5 * time.Second
+}
+
+func (c *DispatcherConfig) clientQueue() int {
+	if c.ClientQueue > 0 {
+		return c.ClientQueue
+	}
+	return 64
+}
+
+func (c *DispatcherConfig) clientStrikes() int {
+	if c.ClientStrikes > 0 {
+		return c.ClientStrikes
+	}
+	return 32
+}
+
 func (c *DispatcherConfig) logf(format string, args ...any) {
 	if c.Logf != nil {
 		c.Logf(format, args...)
@@ -66,12 +114,24 @@ func (c *DispatcherConfig) logf(format string, args ...any) {
 // agentConn is one registered edge-server agent.
 type agentConn struct {
 	conn   *wire.Conn
+	ob     *outbox
 	id     string
 	server int
+
+	suspectOnce sync.Once
 
 	mu      sync.Mutex
 	pending map[uint64]chan *wire.InferResult
 	acked   bool // has acknowledged at least one allocation push
+}
+
+// clientConn is one registered client: its connection, its bounded outbound
+// queue, and its shed-strike standing.
+type clientConn struct {
+	conn    *wire.Conn
+	ob      *outbox
+	strikes atomic.Int64
+	dropped atomic.Bool
 }
 
 // failPending aborts every in-flight Infer on this agent.
@@ -131,6 +191,8 @@ type Dispatcher struct {
 
 	cRequests, cOK, cFailed, cRetries, cPushes *telemetry.Counter
 	cTelemDropped, cTelemCoalesced             *telemetry.Counter
+	cClientShed, cDeadlineTrips                *telemetry.Counter
+	cClientsDropped, cAgentSuspect             *telemetry.Counter
 	gAgents                                    *telemetry.Gauge
 }
 
@@ -180,6 +242,10 @@ func StartDispatcher(cfg DispatcherConfig) (*Dispatcher, error) {
 		cPushes:         reg.Counter("dataplane.alloc_pushes"),
 		cTelemDropped:   reg.Counter("dataplane.telemetry_dropped"),
 		cTelemCoalesced: reg.Counter("dataplane.telemetry_coalesced"),
+		cClientShed:     reg.Counter("dataplane.client_shed"),
+		cDeadlineTrips:  reg.Counter("dataplane.write_deadline_trips"),
+		cClientsDropped: reg.Counter("dataplane.clients_dropped"),
+		cAgentSuspect:   reg.Counter("dataplane.agent_suspect"),
 		gAgents:         reg.Gauge("dataplane.agents_connected"),
 	}
 	d.ready = sync.NewCond(&d.mu)
@@ -297,9 +363,12 @@ func (d *Dispatcher) acceptLoop() {
 	}
 }
 
-// handleConn performs the handshake and dispatches on the peer's role.
+// handleConn performs the handshake and dispatches on the peer's role. The
+// whole exchange runs under a socket deadline: a peer that connects and goes
+// silent (or writes a torn header) cannot pin this goroutine past it.
 func (d *Dispatcher) handleConn(nc net.Conn) {
 	defer d.wg.Done()
+	_ = nc.SetDeadline(time.Now().Add(handshakeTimeout))
 	conn, err := wire.NewConn(bufio.NewReader(nc), nc, nc)
 	if err != nil {
 		d.cfg.logf("dispatcher: rejecting peer %s: %v", nc.RemoteAddr(), err)
@@ -330,23 +399,56 @@ func (d *Dispatcher) handleConn(nc net.Conn) {
 			conn.Close()
 			return
 		}
-		d.serveAgent(&agentConn{
+		_ = nc.SetDeadline(time.Time{}) // per-frame write deadlines take over
+		ac := &agentConn{
 			conn: conn, id: hello.ID, server: hello.Server,
 			pending: map[uint64]chan *wire.InferResult{},
-		})
+		}
+		ac.ob = newOutbox(conn, nc, agentQueue, d.cfg.writeDeadline())
+		ac.ob.onTrip = d.cDeadlineTrips.Inc
+		ac.ob.onDead = func(err error) { d.suspectAgent(ac, err) }
+		d.serveAgent(ac)
 	case wire.RoleClient:
 		if err := conn.Send(welcome); err != nil {
 			conn.Close()
 			return
 		}
-		d.serveClient(conn)
+		_ = nc.SetDeadline(time.Time{})
+		if buf := d.cfg.ClientWriteBuffer; buf > 0 {
+			if tc, ok := nc.(*net.TCPConn); ok {
+				_ = tc.SetWriteBuffer(buf)
+			}
+		}
+		cc := &clientConn{conn: conn}
+		cc.ob = newOutbox(conn, nc, d.cfg.clientQueue(), d.cfg.writeDeadline())
+		cc.ob.onTrip = d.cDeadlineTrips.Inc
+		cc.ob.onDead = func(error) {
+			// Frames queued behind the dead writer are shed by definition.
+			if n := cc.ob.queued(); n > 0 && !d.closing() {
+				d.cClientShed.Add(int64(n))
+			}
+		}
+		d.serveClient(cc)
 	default:
 		conn.Close()
 	}
 }
 
+// closing reports whether dispatcher shutdown has begun (used to keep
+// teardown noise out of the backpressure counters).
+func (d *Dispatcher) closing() bool {
+	select {
+	case <-d.done:
+		return true
+	default:
+		return false
+	}
+}
+
 // serveAgent registers the agent, pushes it the current allocation, and
-// pumps its message stream until the connection drops.
+// pumps its message stream until the connection drops. All outbound frames
+// go through the agent's outbox, so a stalled agent socket can never wedge
+// the ingest loop or an allocation push.
 func (d *Dispatcher) serveAgent(ac *agentConn) {
 	d.mu.Lock()
 	if d.closed {
@@ -355,19 +457,25 @@ func (d *Dispatcher) serveAgent(ac *agentConn) {
 		return
 	}
 	if old := d.agents[ac.server]; old != nil {
-		old.conn.Close() // a reconnecting agent replaces its predecessor
+		old.ob.shut(nil) // a reconnecting agent replaces its predecessor
 	}
 	d.agents[ac.server] = ac
 	n := len(d.agents)
 	d.mu.Unlock()
 	d.gAgents.Set(float64(n))
 	d.cfg.logf("dispatcher: agent %s registered for server %d", ac.id, ac.server)
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		ac.ob.run()
+	}()
 
 	// Tell the control plane the server is (back) up, then hand the agent
 	// its slice of the live plan.
 	d.observeConnectivity(ac.id)
 	d.pushTo(ac, d.plan.Load())
 
+readLoop:
 	for {
 		m, err := ac.conn.Recv()
 		if err != nil {
@@ -400,13 +508,51 @@ func (d *Dispatcher) serveAgent(ac *agentConn) {
 				close(ch)
 			}
 		case *wire.Heartbeat:
+		case *wire.Hello:
+			// A second Hello on a live connection is a protocol violation:
+			// role and server binding are immutable per connection.
+			d.cfg.logf("dispatcher: agent %s sent duplicate Hello; disconnecting", ac.id)
+			d.rejectDuplicateHello(ac.ob)
+			break readLoop
 		case *wire.ErrorMsg:
 			d.cfg.logf("dispatcher: agent %s error: %s", ac.id, m.Text)
 		default:
 			d.cfg.logf("dispatcher: agent %s sent unexpected %T", ac.id, m)
 		}
 	}
+	ac.ob.shut(nil)
 	d.onAgentDown(ac)
+}
+
+// sendAgent queues one frame for an agent. An agent whose outbox cannot take
+// the frame (overflowed queue or dead writer) is marked suspect: the push
+// path must never block, and an agent that is not draining is treated
+// exactly like one that disconnected.
+func (d *Dispatcher) sendAgent(ac *agentConn, m wire.Msg) error {
+	if ac.ob.enqueue(m) {
+		return nil
+	}
+	err := ac.ob.deadErr()
+	if err == nil {
+		err = fmt.Errorf("agent %s outbound queue overflowed (%d frames)", ac.id, agentQueue)
+	}
+	d.suspectAgent(ac, err)
+	return fmt.Errorf("agent %s not writable: %w", ac.id, err)
+}
+
+// suspectAgent handles an agent whose socket stopped accepting frames: the
+// connection is torn down, which unblocks its read loop and routes the loss
+// through onAgentDown — the same health-sample + evacuation machinery a
+// crashed agent triggers. Idempotent per connection.
+func (d *Dispatcher) suspectAgent(ac *agentConn, err error) {
+	ac.suspectOnce.Do(func() {
+		if d.closing() {
+			return
+		}
+		d.cAgentSuspect.Inc()
+		d.cfg.logf("dispatcher: agent %s (server %d) marked suspect: %v", ac.id, ac.server, err)
+	})
+	ac.ob.shut(err)
 }
 
 // onAgentDown deregisters a lost agent, aborts its in-flight work, and
@@ -547,7 +693,11 @@ func (d *Dispatcher) pushAllocationsLocked(plan *joint.Plan) {
 			RTT:       sc.Servers[ac.server].RTT,
 			Entries:   entries[ac.server],
 		}
-		if err := ac.conn.Send(alloc); err != nil {
+		// A push that cannot be queued marks the agent suspect inside
+		// sendAgent — the connection is torn down and the loss routes
+		// through onAgentDown's evacuation machinery, never silently
+		// dropped.
+		if err := d.sendAgent(ac, alloc); err != nil {
 			d.cfg.logf("dispatcher: pushing allocation to %s: %v", ac.id, err)
 			continue
 		}
@@ -582,7 +732,7 @@ func (d *Dispatcher) pushTo(ac *agentConn, plan *joint.Plan) {
 		RTT:       sc.Servers[ac.server].RTT,
 		Entries:   entries,
 	}
-	if err := ac.conn.Send(alloc); err != nil {
+	if err := d.sendAgent(ac, alloc); err != nil {
 		d.cfg.logf("dispatcher: pushing allocation to %s: %v", ac.id, err)
 		return
 	}
@@ -600,8 +750,13 @@ func (d *Dispatcher) rateForLocked(server int) float64 {
 }
 
 // serveClient pumps one client connection: each Request is executed
-// concurrently against the live plan.
-func (d *Dispatcher) serveClient(conn *wire.Conn) {
+// concurrently against the live plan and its Response delivered through the
+// client's bounded outbox. A client that stops reading can therefore stall
+// only its own writer goroutine; once its queue overflows, responses are
+// shed (dataplane.client_shed) and, past the strike limit, the connection is
+// dropped (dataplane.clients_dropped).
+func (d *Dispatcher) serveClient(cc *clientConn) {
+	conn := cc.conn
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -615,28 +770,64 @@ func (d *Dispatcher) serveClient(conn *wire.Conn) {
 		delete(d.clients, conn)
 		d.mu.Unlock()
 	}()
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		cc.ob.run()
+	}()
 	var wg sync.WaitGroup
+readLoop:
 	for {
 		m, err := conn.Recv()
 		if err != nil {
 			break
 		}
-		req, ok := m.(*wire.Request)
-		if !ok {
+		switch m := m.(type) {
+		case *wire.Request:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				d.deliver(cc, d.execute(m))
+			}()
+		case *wire.Hello:
+			d.cfg.logf("dispatcher: client sent duplicate Hello; disconnecting")
+			d.rejectDuplicateHello(cc.ob)
+			break readLoop
+		case *wire.Heartbeat:
+		default:
 			d.cfg.logf("dispatcher: client sent unexpected %T", m)
-			continue
 		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			resp := d.execute(req)
-			if err := conn.Send(resp); err != nil {
-				d.cfg.logf("dispatcher: sending response %d: %v", resp.Seq, err)
-			}
-		}()
 	}
 	wg.Wait()
+	cc.ob.shut(nil)
 	conn.Close()
+}
+
+// rejectDuplicateHello tells a peer, synchronously but deadline-guarded, why
+// it is about to be disconnected. Role and server binding are immutable per
+// connection; a second Hello is a protocol violation. The direct Send is
+// safe alongside the outbox writer (wire.Conn serializes writers) and cannot
+// wedge the read loop: the write deadline bounds it.
+func (d *Dispatcher) rejectDuplicateHello(ob *outbox) {
+	_ = ob.nc.SetWriteDeadline(time.Now().Add(d.cfg.writeDeadline()))
+	_ = ob.conn.Send(&wire.ErrorMsg{Text: "duplicate Hello on a live connection"})
+}
+
+// deliver queues one response on the client's outbox, applying the shed /
+// strike / disconnect policy on overflow.
+func (d *Dispatcher) deliver(cc *clientConn, resp *wire.Response) {
+	if cc.ob.enqueue(resp) {
+		return
+	}
+	if d.closing() {
+		return // shutdown teardown, not backpressure
+	}
+	d.cClientShed.Inc()
+	if cc.strikes.Add(1) >= int64(d.cfg.clientStrikes()) && cc.dropped.CompareAndSwap(false, true) {
+		d.cClientsDropped.Inc()
+		d.cfg.logf("dispatcher: dropping client after %d shed responses", cc.strikes.Load())
+		cc.ob.shut(fmt.Errorf("client exceeded %d shed responses", d.cfg.clientStrikes()))
+	}
 }
 
 // execute runs one end-to-end request against the live plan: the simulated
@@ -718,7 +909,7 @@ func (d *Dispatcher) remoteSuffix(dec *joint.Decision, req *wire.Request) (*wire
 		DeviceSec: dec.Eval.DeviceSec,
 		Payload:   activationPayload(dec),
 	}
-	if err := ac.conn.Send(infer); err != nil {
+	if err := d.sendAgent(ac, infer); err != nil {
 		ac.mu.Lock()
 		delete(ac.pending, seq)
 		ac.mu.Unlock()

@@ -1,0 +1,131 @@
+package agent
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"edgesurgeon/internal/wire"
+)
+
+// errOutboxDead is the terminal error an outbox records when it is shut for
+// a reason other than a transport failure (queue overflow past the strike
+// limit, dispatcher shutdown).
+var errOutboxDead = errors.New("agent: outbound queue closed")
+
+// outbox is one connection's bounded outbound queue, drained by a single
+// writer goroutine that applies a write deadline per frame. It is the
+// dispatcher's backpressure boundary: enqueue never blocks, so a peer whose
+// socket has stopped absorbing bytes can stall only its own writer — never a
+// request handler, the telemetry ingest loop, or an allocation push.
+//
+// What happens on pressure is the caller's policy: enqueue returns false on
+// overflow (the dispatcher sheds a client response, or marks an agent
+// suspect), and a write that misses its deadline kills the connection
+// outright — a frame half-written to a stalled socket has already corrupted
+// the stream, so there is nothing gentler to do than disconnect.
+type outbox struct {
+	conn     *wire.Conn
+	nc       net.Conn // for per-frame write deadlines
+	deadline time.Duration
+
+	ch   chan wire.Msg
+	done chan struct{}
+
+	mu   sync.Mutex
+	dead bool
+	err  error
+
+	// onTrip is called when a frame write misses its deadline (before
+	// onDead). onDead is called exactly once when the writer dies with a
+	// transport error or the outbox is shut with one; a nil-error shut
+	// (normal teardown) skips it. Both may be nil.
+	onTrip func()
+	onDead func(error)
+}
+
+func newOutbox(conn *wire.Conn, nc net.Conn, queue int, deadline time.Duration) *outbox {
+	if queue < 1 {
+		queue = 1
+	}
+	return &outbox{
+		conn:     conn,
+		nc:       nc,
+		deadline: deadline,
+		ch:       make(chan wire.Msg, queue),
+		done:     make(chan struct{}),
+	}
+}
+
+// enqueue queues one frame for the writer without ever blocking. False means
+// the queue is full or the writer is gone; the caller decides whether that is
+// a shed (client response) or a suspect connection (agent push).
+func (o *outbox) enqueue(m wire.Msg) bool {
+	select {
+	case <-o.done:
+		return false
+	default:
+	}
+	select {
+	case o.ch <- m:
+		return true
+	default:
+		return false
+	}
+}
+
+// queued reports the messages currently waiting (the count abandoned when a
+// connection dies — they are shed by definition).
+func (o *outbox) queued() int { return len(o.ch) }
+
+// run drains the queue until the connection dies or shut is called. The
+// caller owns the goroutine's lifetime accounting (dispatcher wg).
+func (o *outbox) run() {
+	for {
+		select {
+		case <-o.done:
+			return
+		case m := <-o.ch:
+			if o.deadline > 0 {
+				_ = o.nc.SetWriteDeadline(time.Now().Add(o.deadline))
+			}
+			if err := o.conn.Send(m); err != nil {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() && o.onTrip != nil {
+					o.onTrip()
+				}
+				o.shut(err)
+				return
+			}
+		}
+	}
+}
+
+// shut kills the outbox once: the writer stops, the underlying connection is
+// closed (unblocking the peer's read loop so normal disconnect teardown
+// runs), and onDead fires if err is non-nil. Safe to call from any
+// goroutine, any number of times.
+func (o *outbox) shut(err error) {
+	o.mu.Lock()
+	if o.dead {
+		o.mu.Unlock()
+		return
+	}
+	o.dead = true
+	o.err = err
+	o.mu.Unlock()
+	close(o.done)
+	_ = o.conn.Close()
+	if err != nil && o.onDead != nil {
+		o.onDead(err)
+	}
+}
+
+// deadErr returns the error the outbox died with (nil while alive or after a
+// clean shut).
+func (o *outbox) deadErr() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.err
+}

@@ -1,0 +1,88 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+
+	"edgesurgeon/internal/wire"
+)
+
+// ErrClosed reports a call against a client the caller already closed.
+var ErrClosed = errors.New("client: closed")
+
+// HandshakeError reports a rejected connection attempt: a peer that is not a
+// dispatcher (bad magic or protocol version), a dispatcher ErrorMsg reply,
+// an unexpected first message, or a Welcome whose deployment shape
+// contradicts the configured expectation.
+type HandshakeError struct {
+	Reason string
+	Err    error // underlying transport/decode error, may be nil
+}
+
+// Error implements error.
+func (e *HandshakeError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("client: handshake: %s: %v", e.Reason, e.Err)
+	}
+	return "client: handshake: " + e.Reason
+}
+
+// Unwrap exposes the underlying error (a *wire.DecodeError for bad
+// magic/version) to errors.As.
+func (e *HandshakeError) Unwrap() error { return e.Err }
+
+// DisconnectError reports transport loss with calls in flight: the
+// dispatcher went away, the network dropped, or — indistinguishably at this
+// end — the dispatcher shed this client's responses past its strike limit
+// and disconnected it for backpressure. Callers that need to tell a shed
+// from a crash should watch dataplane.clients_dropped on the dispatcher's
+// /metrics.
+type DisconnectError struct {
+	Err error
+}
+
+// Error implements error.
+func (e *DisconnectError) Error() string {
+	return fmt.Sprintf("client: disconnected: %v", e.Err)
+}
+
+// Unwrap exposes the transport error.
+func (e *DisconnectError) Unwrap() error { return e.Err }
+
+// StatusError reports a response that arrived but did not carry StatusOK:
+// the dispatcher failed (no route to the assigned server) or rejected
+// (malformed request, unknown user) the call.
+type StatusError struct {
+	Status uint64
+	User   int
+	Seq    uint64
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	kind := fmt.Sprintf("status %d", e.Status)
+	switch e.Status {
+	case wire.StatusFailed:
+		kind = "failed (no route)"
+	case wire.StatusRejected:
+		kind = "rejected"
+	}
+	return fmt.Sprintf("client: request %d (user %d) %s", e.Seq, e.User, kind)
+}
+
+// CallError reports a call abandoned by its own context: per-call deadline
+// expiry or caller cancellation. errors.Is(err, context.DeadlineExceeded)
+// and errors.Is(err, context.Canceled) hold through Unwrap.
+type CallError struct {
+	User int
+	Seq  uint64
+	Err  error
+}
+
+// Error implements error.
+func (e *CallError) Error() string {
+	return fmt.Sprintf("client: request %d (user %d) abandoned: %v", e.Seq, e.User, e.Err)
+}
+
+// Unwrap exposes the context error.
+func (e *CallError) Unwrap() error { return e.Err }

@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"edgesurgeon/internal/serve"
+)
+
+// TestStalledClientDoesNotDentHealthyDrive is the cluster-level backpressure
+// arm: a full loopback deployment (subprocess agents, real TCP) drives a
+// no-stall baseline, then repeats the same drive with a stalled client
+// attached. The healthy ok-fraction must not fall below the baseline within
+// tolerance, and the dispatcher must visibly shed the stalled client's
+// responses and disconnect it.
+func TestStalledClientDoesNotDentHealthyDrive(t *testing.T) {
+	c, err := Start(Config{
+		ScenarioJSON:    testScenarioJSON(t),
+		AgentBin:        agentBin(t),
+		Policy:          serve.Hysteresis(),
+		TimeScale:       0.002,
+		TelemetryPeriod: 5,
+		Seed:            42,
+		// Tight backpressure so the stalled client bites within a few
+		// frames instead of a few hundred kernel-buffered kilobytes.
+		WriteDeadline:     200 * time.Millisecond,
+		ClientQueue:       8,
+		ClientStrikes:     4,
+		ClientWriteBuffer: 2048,
+		Logf:              t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	reg := c.Runtime.Metrics()
+
+	baseline, err := Drive(c.Addr(), 4, DriveConfig{Requests: 60, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.OK == 0 {
+		t.Fatal("baseline drive completed nothing; cluster never came up")
+	}
+
+	stall, err := StartStalledClient(c.Addr(), 300, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stall.Close()
+
+	under, err := Drive(c.Addr(), 4, DriveConfig{Requests: 60, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const tolerance = 0.05
+	if under.OKFrac() < baseline.OKFrac()-tolerance {
+		t.Fatalf("healthy ok-fraction fell from %.3f to %.3f under a stalled client",
+			baseline.OKFrac(), under.OKFrac())
+	}
+
+	// The stall was real: responses shed, client eventually dropped.
+	deadline := time.Now().Add(15 * time.Second)
+	for reg.Counter("dataplane.clients_dropped").Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stalled client never dropped: shed=%d trips=%d",
+				reg.Counter("dataplane.client_shed").Value(),
+				reg.Counter("dataplane.write_deadline_trips").Value())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if reg.Counter("dataplane.client_shed").Value() == 0 {
+		t.Fatal("stalled client dropped without any shed being counted")
+	}
+	t.Logf("baseline ok-frac %.3f, under stall %.3f; shed=%d trips=%d dropped=%d",
+		baseline.OKFrac(), under.OKFrac(),
+		reg.Counter("dataplane.client_shed").Value(),
+		reg.Counter("dataplane.write_deadline_trips").Value(),
+		reg.Counter("dataplane.clients_dropped").Value())
+}

@@ -26,7 +26,10 @@ type Config struct {
 	// so all cost-model evaluations agree.
 	ScenarioJSON []byte
 	// Agents is how many agent processes to spawn, one per server index
-	// starting at 0; 0 means one per scenario server.
+	// starting at 0; 0 means one per scenario server. Negative means spawn
+	// none — the multi-host head-node mode, where remote edgeagent
+	// processes dial in — while Start still waits for one registration per
+	// scenario server before declaring the cluster up.
 	Agents int
 	// AgentBin is the path to a prebuilt edgeagent binary; empty means
 	// build one into Dir (see BuildAgentBin).
@@ -44,6 +47,15 @@ type Config struct {
 	TelemetryPeriod float64
 	// Seed fixes the dispatcher's crossing sampler.
 	Seed int64
+	// WriteDeadline, ClientQueue, ClientStrikes and ClientWriteBuffer pass
+	// through to the dispatcher's backpressure policy (see
+	// agent.DispatcherConfig); zero values keep the production defaults.
+	// The backpressure stress arm shrinks them so a stalled client bites
+	// within a few frames.
+	WriteDeadline     time.Duration
+	ClientQueue       int
+	ClientStrikes     int
+	ClientWriteBuffer int
 	// Dir is the scratch directory for the scenario file and binary;
 	// empty means a fresh temp dir removed on Close.
 	Dir string
@@ -86,6 +98,12 @@ func Start(cfg Config) (*Cluster, error) {
 	if nAgents == 0 {
 		nAgents = len(sc.Servers)
 	}
+	spawn := nAgents
+	if nAgents < 0 {
+		// Head-node mode: no local children; remote agents dial in, and the
+		// readiness barrier still waits for all of them.
+		spawn, nAgents = 0, len(sc.Servers)
+	}
 	if nAgents > len(sc.Servers) {
 		return nil, fmt.Errorf("cluster: %d agents for %d servers", nAgents, len(sc.Servers))
 	}
@@ -108,7 +126,7 @@ func Start(cfg Config) (*Cluster, error) {
 		return fail(err)
 	}
 	bin := cfg.AgentBin
-	if bin == "" {
+	if bin == "" && spawn > 0 {
 		if bin, err = BuildAgentBin(c.dir); err != nil {
 			return fail(err)
 		}
@@ -119,18 +137,22 @@ func Start(cfg Config) (*Cluster, error) {
 		return fail(err)
 	}
 	c.Dispatcher, err = agent.StartDispatcher(agent.DispatcherConfig{
-		Scenario:  sc,
-		Runtime:   c.Runtime,
-		Listen:    cfg.Listen,
-		TimeScale: cfg.TimeScale,
-		Seed:      cfg.Seed,
-		Logf:      cfg.Logf,
+		Scenario:          sc,
+		Runtime:           c.Runtime,
+		Listen:            cfg.Listen,
+		TimeScale:         cfg.TimeScale,
+		Seed:              cfg.Seed,
+		WriteDeadline:     cfg.WriteDeadline,
+		ClientQueue:       cfg.ClientQueue,
+		ClientStrikes:     cfg.ClientStrikes,
+		ClientWriteBuffer: cfg.ClientWriteBuffer,
+		Logf:              cfg.Logf,
 	})
 	if err != nil {
 		return fail(err)
 	}
 
-	for s := 0; s < nAgents; s++ {
+	for s := 0; s < spawn; s++ {
 		cmd := exec.Command(bin,
 			"-scenario", scenarioPath,
 			"-server", strconv.Itoa(s),

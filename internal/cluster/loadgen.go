@@ -1,14 +1,14 @@
 package cluster
 
 import (
-	"bufio"
+	"context"
+	"errors"
 	"fmt"
-	"net"
 	"sort"
 	"sync"
 	"time"
 
-	"edgesurgeon/internal/wire"
+	"edgesurgeon/internal/client"
 )
 
 // DriveConfig describes one closed-loop load run against a cluster.
@@ -21,6 +21,9 @@ type DriveConfig struct {
 	// Users restricts the request mix to the first N scenario users;
 	// 0 means all.
 	Users int
+	// CallTimeout is the per-request deadline each worker applies;
+	// 0 means the client default (30s).
+	CallTimeout time.Duration
 }
 
 // Result is the honest wall-clock outcome of one load run. Latencies are
@@ -38,8 +41,17 @@ type Result struct {
 	Crossed int
 }
 
+// OKFrac is the fraction of sent requests that completed StatusOK.
+func (r *Result) OKFrac() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.OK) / float64(r.Sent)
+}
+
 // Drive runs a closed-loop workload against the cluster's dispatcher and
-// reports throughput and latency quantiles.
+// reports throughput and latency quantiles. Each worker is one
+// internal/client connection keeping a single request in flight.
 func Drive(addr string, nUsers int, cfg DriveConfig) (*Result, error) {
 	if cfg.Requests <= 0 {
 		return nil, fmt.Errorf("cluster: drive needs a positive request count")
@@ -75,7 +87,7 @@ func Drive(addr string, nUsers int, cfg DriveConfig) (*Result, error) {
 		wg.Add(1)
 		go func(w, n int) {
 			defer wg.Done()
-			lats, ok, failed, crossed, err := runWorker(addr, w, n, users)
+			lats, ok, failed, crossed, err := runWorker(addr, w, n, users, cfg.CallTimeout)
 			mu.Lock()
 			defer mu.Unlock()
 			latencies = append(latencies, lats...)
@@ -102,39 +114,30 @@ func Drive(addr string, nUsers int, cfg DriveConfig) (*Result, error) {
 	return &res, nil
 }
 
-// runWorker is one closed-loop client: request, await, repeat.
-func runWorker(addr string, worker, n, users int) (lats []float64, ok, failed, crossed int, err error) {
-	nc, err := net.Dial("tcp", addr)
+// runWorker is one closed-loop client: request, await, repeat. A non-OK
+// status counts as failed and the worker continues; transport loss fails the
+// worker's remaining budget and surfaces the error.
+func runWorker(addr string, worker, n, users int, callTimeout time.Duration) (lats []float64, ok, failed, crossed int, err error) {
+	c, err := client.Dial(addr, client.Config{
+		ID:          fmt.Sprintf("loadgen-%d", worker),
+		Window:      1, // closed loop: exactly one request in flight
+		CallTimeout: callTimeout,
+	})
 	if err != nil {
 		return nil, 0, n, 0, err
 	}
-	conn, cerr := wire.NewConn(bufio.NewReader(nc), nc, nc)
-	if cerr != nil {
-		nc.Close()
-		return nil, 0, n, 0, cerr
-	}
-	defer conn.Close()
-	if err := conn.Send(&wire.Hello{Role: wire.RoleClient, ID: fmt.Sprintf("loadgen-%d", worker)}); err != nil {
-		return nil, 0, n, 0, err
-	}
-	if _, err := conn.Recv(); err != nil { // Welcome
-		return nil, 0, n, 0, err
-	}
+	defer c.Close()
 	for i := 0; i < n; i++ {
-		seq := uint64(worker)<<32 | uint64(i+1)
 		user := (worker + i) % users
 		t0 := time.Now()
-		if err := conn.Send(&wire.Request{Seq: seq, User: user}); err != nil {
-			return lats, ok, failed + (n - i), crossed, err
-		}
-		m, rerr := conn.Recv()
-		if rerr != nil {
-			return lats, ok, failed + (n - i), crossed, rerr
-		}
-		resp, isResp := m.(*wire.Response)
-		if !isResp || resp.Status != wire.StatusOK {
-			failed++
-			continue
+		resp, derr := c.Do(context.Background(), user)
+		if derr != nil {
+			var se *client.StatusError
+			if errors.As(derr, &se) {
+				failed++
+				continue
+			}
+			return lats, ok, failed + (n - i), crossed, derr
 		}
 		lats = append(lats, time.Since(t0).Seconds())
 		ok++

@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+
+	"edgesurgeon/internal/wire"
+)
+
+// StalledClient is a deliberately misbehaving client for backpressure
+// experiments: it completes the handshake, fires a burst of requests, and
+// then never reads another byte. Its responses pile up in its kernel receive
+// buffer and then in the dispatcher's bounded per-connection outbound queue,
+// which must shed them (dataplane.client_shed) and eventually disconnect the
+// client — all without slowing healthy clients or the telemetry→replan loop.
+type StalledClient struct {
+	conn *wire.Conn
+	nc   net.Conn
+}
+
+// StartStalledClient connects, handshakes, sends requests for the given user
+// count round-robin, and stops reading. Close tears the connection down.
+// The client's kernel receive buffer is shrunk so the dispatcher's writes
+// back up after a handful of frames instead of after megabytes.
+func StartStalledClient(addr string, requests, users int) (*StalledClient, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: stalled client dial: %w", err)
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		_ = tc.SetReadBuffer(4096) // make the stall bite within a few frames
+	}
+	conn, err := wire.NewConn(bufio.NewReader(nc), nc, nc)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("cluster: stalled client handshake: %w", err)
+	}
+	if err := conn.Send(&wire.Hello{Role: wire.RoleClient, ID: "stalled"}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if _, err := conn.Recv(); err != nil { // Welcome — the last read it will do
+		conn.Close()
+		return nil, err
+	}
+	if users < 1 {
+		users = 1
+	}
+	for i := 0; i < requests; i++ {
+		if err := conn.Send(&wire.Request{Seq: uint64(i + 1), User: i % users}); err != nil {
+			// The dispatcher may already have dropped us mid-burst; that is
+			// the behavior under test, not a harness failure.
+			break
+		}
+	}
+	return &StalledClient{conn: conn, nc: nc}, nil
+}
+
+// Close hangs the stalled client up.
+func (s *StalledClient) Close() error { return s.conn.Close() }
